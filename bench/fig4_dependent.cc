@@ -1,0 +1,60 @@
+// Figure 4 — performance of dependent commands (key-value store, 100%
+// inserts+deletes: every command conflicts with everything).
+//
+// Paper's reported shape: SMR keeps its ~842 Kcps (single thread, no
+// synchronization overhead) and tops the chart; P-SMR drops to ~0.5x
+// (every command travels through g_all and the synchronous-mode machinery);
+// no-rep ~0.32x and sP-SMR ~0.28x (drain-assign-drain scheduler ping-pong);
+// BDB ~0.12x (global latching, throughput down from 140K to 105 Kcps).
+// Thread counts per the paper: 1 for everything except BDB (4).
+#include "bench_common.h"
+
+using namespace psmr;
+using namespace psmr::bench;
+
+int main(int argc, char** argv) {
+  Options opt = Options::parse(argc, argv);
+  std::printf("=== Figure 4: dependent commands (inserts+deletes) [%s] ===\n",
+              opt.real ? "real runtime" : "calibrated simulation");
+
+  struct Row {
+    sim::Tech tech;
+    int workers;
+    int clients;
+  };
+  const Row rows[] = {
+      {sim::Tech::kNoRep, 1, 20},
+      {sim::Tech::kSmr, 1, 60},
+      {sim::Tech::kSpsmr, 1, 20},
+      {sim::Tech::kPsmr, 1, 35},
+      {sim::Tech::kLock, 4, 5},
+  };
+
+  double smr_kcps = 0;
+  sim::SimResult results[5];
+  for (int i = 0; i < 5; ++i) {
+    const auto& row = rows[i];
+    if (opt.real) {
+      results[i] = run_real_kv(opt, row.tech, row.workers,
+                               workload::KvMix{0, 0, 50, 50});
+    } else {
+      auto cfg = base_sim(opt, row.tech, row.workers, row.clients);
+      cfg.frac_dependent = 1.0;
+      results[i] = sim::simulate(cfg);
+    }
+    if (row.tech == sim::Tech::kSmr) smr_kcps = results[i].kcps;
+  }
+
+  std::printf("%-8s %8s %8s %7s %9s %9s\n", "tech", "threads", "Kcps", "vsSMR",
+              "CPU(%)", "lat(us)");
+  for (int i = 0; i < 5; ++i) {
+    std::printf("%-8s %8d %8.0f %6.2fx %9.0f %9.0f\n",
+                sim::tech_name(rows[i].tech), rows[i].workers,
+                results[i].kcps, results[i].kcps / smr_kcps,
+                results[i].cpu_pct, results[i].avg_latency_us);
+  }
+  for (int i = 0; i < 5; ++i) {
+    print_cdf(sim::tech_name(rows[i].tech), results[i].latency);
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 5 — throughput vs number of worker threads (1..8), independent
+// commands (left) and dependent commands (right); absolute Kcps plus
+// per-thread normalized throughput.
+//
+// Paper's reported shape (left/independent): all techniques compare equally
+// at one thread; P-SMR alone keeps scaling with threads (to ~3x); sP-SMR
+// and no-rep peak at 2 and then *decline* (scheduler synchronization); BDB
+// stays far below.  (Right/dependent): everything except BDB declines as
+// threads are added; BDB rises until 4 threads, then locking overhead wins.
+#include "bench_common.h"
+
+using namespace psmr;
+using namespace psmr::bench;
+
+namespace {
+
+void sweep(const Options& opt, bool dependent) {
+  const sim::Tech techs[] = {sim::Tech::kNoRep, sim::Tech::kSpsmr,
+                             sim::Tech::kPsmr, sim::Tech::kLock};
+  const int thread_counts[] = {1, 2, 4, 6, 8};
+
+  std::printf("--- %s commands: absolute throughput (Kcps) ---\n",
+              dependent ? "dependent" : "independent");
+  std::printf("%-8s", "threads");
+  for (auto t : techs) std::printf(" %9s", sim::tech_name(t));
+  std::printf("\n");
+
+  double per_thread[4][5];
+  double at_one[4];
+  for (int wi = 0; wi < 5; ++wi) {
+    int w = thread_counts[wi];
+    std::printf("%-8d", w);
+    for (int ti = 0; ti < 4; ++ti) {
+      sim::SimResult r;
+      if (opt.real) {
+        r = run_real_kv(opt, techs[ti], w,
+                        dependent ? workload::KvMix{0, 0, 50, 50}
+                                  : workload::KvMix{100, 0, 0, 0});
+      } else {
+        int clients = dependent ? 30 : 30 * w;  // enough to saturate
+        auto cfg = base_sim(opt, techs[ti], w, clients);
+        cfg.frac_dependent = dependent ? 1.0 : 0.0;
+        r = sim::simulate(cfg);
+      }
+      std::printf(" %9.0f", r.kcps);
+      per_thread[ti][wi] = r.kcps / w;
+      if (wi == 0) at_one[ti] = r.kcps;
+    }
+    std::printf("\n");
+  }
+
+  std::printf("--- %s commands: per-thread normalized throughput ---\n",
+              dependent ? "dependent" : "independent");
+  std::printf("%-8s", "threads");
+  for (auto t : techs) std::printf(" %9s", sim::tech_name(t));
+  std::printf("\n");
+  for (int wi = 0; wi < 5; ++wi) {
+    std::printf("%-8d", thread_counts[wi]);
+    for (int ti = 0; ti < 4; ++ti) {
+      std::printf(" %9.2f", per_thread[ti][wi] / at_one[ti]);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt = Options::parse(argc, argv);
+  std::printf("=== Figure 5: scalability with worker threads [%s] ===\n",
+              opt.real ? "real runtime" : "calibrated simulation");
+  sweep(opt, /*dependent=*/false);
+  sweep(opt, /*dependent=*/true);
+  return 0;
+}

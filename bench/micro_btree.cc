@@ -1,0 +1,67 @@
+// Micro-benchmarks for the B+-tree — validates the ~1.2us/command
+// execution cost the simulator's calibration assumes (sim/calibration.h;
+// the paper's SMR runs ~842 Kcps single-threaded on a 2008-era Xeon).
+#include <benchmark/benchmark.h>
+
+#include "kvstore/bptree.h"
+#include "kvstore/concurrent_bptree.h"
+#include "util/rng.h"
+
+namespace {
+
+using psmr::kvstore::BPlusTree;
+using psmr::kvstore::ConcurrentBPlusTree;
+using psmr::util::SplitMix64;
+
+void BM_BPlusTreeRead(benchmark::State& state) {
+  BPlusTree tree;
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  for (std::uint64_t k = 0; k < n; ++k) tree.insert(k, k);
+  SplitMix64 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.find(rng.next_below(n)));
+  }
+}
+BENCHMARK(BM_BPlusTreeRead)->Arg(10'000)->Arg(1'000'000)->Arg(10'000'000);
+
+void BM_BPlusTreeUpdate(benchmark::State& state) {
+  BPlusTree tree;
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  for (std::uint64_t k = 0; k < n; ++k) tree.insert(k, k);
+  SplitMix64 rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.update(rng.next_below(n), 42));
+  }
+}
+BENCHMARK(BM_BPlusTreeUpdate)->Arg(1'000'000);
+
+void BM_BPlusTreeInsertDelete(benchmark::State& state) {
+  BPlusTree tree;
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  for (std::uint64_t k = 0; k < n; ++k) tree.insert(k * 2, k);
+  SplitMix64 rng(3);
+  for (auto _ : state) {
+    std::uint64_t k = rng.next_below(n) * 2 + 1;  // odd keys churn
+    tree.insert(k, k);
+    tree.erase(k);
+  }
+}
+BENCHMARK(BM_BPlusTreeInsertDelete)->Arg(1'000'000);
+
+void BM_ConcurrentTreeRead(benchmark::State& state) {
+  static ConcurrentBPlusTree tree;
+  if (state.thread_index() == 0 && tree.size() == 0) {
+    for (std::uint64_t k = 0; k < 1'000'000; ++k) tree.insert(k, k);
+  }
+  SplitMix64 rng(4 + static_cast<std::uint64_t>(state.thread_index()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.find(rng.next_below(1'000'000)));
+  }
+}
+// The latch-crabbing read path: the per-node locking cost is what the
+// paper's BDB comparison attributes its slowdown to.
+BENCHMARK(BM_ConcurrentTreeRead)->Threads(1)->Threads(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Micro-benchmarks for the LZ codec — validates the compression-cost
+// asymmetry the simulator's NetFS calibration assumes (compressing a 1 KB
+// response costs ~3x decompressing one; the paper uses this to explain
+// Figure 8's read-vs-write latency difference).
+#include <benchmark/benchmark.h>
+
+#include "util/compress.h"
+#include "util/rng.h"
+
+namespace {
+
+using psmr::util::Buffer;
+using psmr::util::SplitMix64;
+
+Buffer make_payload(std::size_t n, double entropy) {
+  // entropy in [0,1]: 0 = all zeros, 1 = random bytes.
+  SplitMix64 rng(7);
+  Buffer out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(rng.chance(entropy)
+                      ? static_cast<std::uint8_t>(rng.next())
+                      : static_cast<std::uint8_t>('a' + i % 7));
+  }
+  return out;
+}
+
+void BM_Compress1K(benchmark::State& state) {
+  Buffer payload = make_payload(1024, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(psmr::util::lz_compress(payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1024);
+}
+BENCHMARK(BM_Compress1K);
+
+void BM_Decompress1K(benchmark::State& state) {
+  Buffer block = psmr::util::lz_compress(make_payload(1024, 0.3));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(psmr::util::lz_decompress(block));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1024);
+}
+BENCHMARK(BM_Decompress1K);
+
+void BM_Compress64K(benchmark::State& state) {
+  Buffer payload = make_payload(64 * 1024, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(psmr::util::lz_compress(payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 64 *
+                          1024);
+}
+BENCHMARK(BM_Compress64K);
+
+void BM_CompressIncompressible1K(benchmark::State& state) {
+  Buffer payload = make_payload(1024, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(psmr::util::lz_compress(payload));
+  }
+}
+BENCHMARK(BM_CompressIncompressible1K);
+
+}  // namespace
+
+BENCHMARK_MAIN();

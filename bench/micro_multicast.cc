@@ -1,0 +1,91 @@
+// Micro-benchmarks for the real atomic-multicast stack: end-to-end
+// submit→deliver throughput through one Paxos ring, and the effect of the
+// 8 KB batch bound (the ablation DESIGN.md calls out).  Runs the real
+// protocol threads, so absolute numbers depend on the host's core count.
+#include <benchmark/benchmark.h>
+
+#include "multicast/amcast.h"
+#include "transport/network.h"
+
+namespace {
+
+using namespace psmr;
+
+void BM_RingThroughput(benchmark::State& state) {
+  transport::Network net;
+  paxos::RingConfig cfg;
+  cfg.batch_timeout = std::chrono::microseconds(200);
+  cfg.max_batch_bytes = static_cast<std::size_t>(state.range(0));
+  paxos::Ring ring(net, 0, cfg);
+  auto learner = ring.subscribe();
+  ring.start();
+  auto [me, mybox] = net.register_node();
+
+  util::Writer w;
+  w.u64(42);
+  util::Buffer cmd = w.take();
+
+  std::uint64_t delivered = 0;
+  std::uint64_t submitted = 0;
+  for (auto _ : state) {
+    // Keep a pipeline of ~512 outstanding commands.
+    while (submitted - delivered < 512) {
+      ring.submit(me, cmd);
+      ++submitted;
+    }
+    while (delivered < submitted) {
+      auto d = learner->next_for(std::chrono::milliseconds(200));
+      if (!d) break;
+      if (!d->batch.skip) delivered += d->batch.commands.size();
+      if (submitted - delivered < 256) break;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(delivered));
+  ring.stop();
+  net.shutdown();
+}
+// Batch-size ablation: 1KB vs the paper's 8KB vs 64KB.
+BENCHMARK(BM_RingThroughput)->Arg(1024)->Arg(8192)->Arg(65536)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BusMulticastSingleGroup(benchmark::State& state) {
+  transport::Network net;
+  multicast::BusConfig cfg;
+  cfg.num_groups = 2;
+  cfg.ring.batch_timeout = std::chrono::microseconds(200);
+  cfg.ring.skip_interval = std::chrono::microseconds(1000);
+  multicast::Bus bus(net, cfg);
+  auto sub = bus.subscribe(0);
+  bus.start();
+  auto [me, mybox] = net.register_node();
+
+  util::Writer w;
+  w.u64(7);
+  util::Buffer msg = w.take();
+
+  std::uint64_t delivered = 0, submitted = 0;
+  for (auto _ : state) {
+    while (submitted - delivered < 256) {
+      bus.multicast(me, multicast::GroupSet::single(0), msg);
+      ++submitted;
+    }
+    while (delivered < submitted) {
+      auto d = sub->next();
+      if (!d) break;
+      ++delivered;
+      if (submitted - delivered < 128) break;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(delivered));
+  bus.stop();
+  net.shutdown();
+}
+// Bounded iterations: merged delivery paces at the skip interval when
+// rings idle, so adaptive iteration counts can run very long on slow hosts.
+BENCHMARK(BM_BusMulticastSingleGroup)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(300);
+
+}  // namespace
+
+BENCHMARK_MAIN();

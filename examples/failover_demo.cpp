@@ -1,0 +1,70 @@
+// Failover demo: the fault-tolerance story end to end.
+//
+// Each multicast group is one Paxos sequence with 3 acceptors (tolerating
+// f=1, the paper's configuration) and a coordinator.  This demo crashes an
+// acceptor of one ring and then the coordinators of a worker ring and of
+// the shared ring, and shows the service staying available throughout: a
+// standby coordinator runs Phase 1 with a higher ballot, re-proposes
+// constrained values and resumes ordering; learners catch up from the
+// surviving acceptors.
+#include <cstdio>
+
+#include "kvstore/kv_client.h"
+#include "smr/runtime.h"
+
+using namespace psmr;
+
+int main() {
+  smr::DeploymentConfig cfg;
+  cfg.mode = smr::Mode::kPsmr;
+  cfg.mpl = 4;
+  cfg.replicas = 2;
+  cfg.service_factory = [] {
+    return std::make_unique<kvstore::KvService>(/*initial_keys=*/128);
+  };
+  cfg.cg_factory = [](std::size_t k) { return kvstore::kv_keyed_cg(k); };
+
+  smr::Deployment deployment(std::move(cfg));
+  deployment.start();
+  kvstore::KvClient kv(deployment.make_client());
+
+  for (std::uint64_t i = 0; i < 20; ++i) kv.update(i, i * 10);
+  std::printf("20 updates applied; key 7 -> %lu\n", kv.read(7).value());
+
+  auto& bus = *deployment.bus();
+
+  // 1. Crash one acceptor of worker ring 0: quorum (2 of 3) still holds.
+  auto acceptor = bus.group_ring(0).acceptor_ids().front();
+  deployment.network().disconnect(acceptor);
+  std::printf("crashed acceptor %u of ring 0...\n", acceptor);
+  kv.update(0, 4242);
+  std::printf("  ring 0 still orders commands: key 0 -> %lu\n",
+              kv.read(0).value());
+
+  // 2. Crash the coordinator of worker ring 1: a standby takes over with a
+  //    higher ballot.
+  auto old_coord = bus.group_ring(1).coordinator();
+  auto new_coord = bus.group_ring(1).fail_coordinator();
+  std::printf("coordinator failover on ring 1: node %u -> node %u\n",
+              old_coord, new_coord);
+  for (std::uint64_t i = 0; i < 20; ++i) kv.update(i, i * 100);
+  std::printf("  20 post-failover updates applied; key 7 -> %lu\n",
+              kv.read(7).value());
+
+  // 3. Crash the shared ring's coordinator too: synchronous-mode commands
+  //    (inserts) keep working after the standby recovers the sequence.
+  bus.shared_ring().fail_coordinator();
+  std::printf("coordinator failover on the shared ring\n");
+  if (kv.insert(100'000, 1) == kvstore::kKvOk) {
+    std::printf("  insert through the recovered shared ring: key 100000 -> "
+                "%lu\n",
+                kv.read(100'000).value());
+  }
+
+  std::printf("replicas converged: %s\n",
+              deployment.state_digest(0) == deployment.state_digest(1)
+                  ? "yes"
+                  : "NO");
+  deployment.stop();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// NetFS demo: the paper's replicated networked file system (Section V-B).
+//
+// Eight worker threads per replica, files partitioned across eight path
+// ranges (eight multicast groups) plus the serialized group for structural
+// commands; every request travels LZ-compressed, exactly as in the paper's
+// prototype.  The demo builds a small project tree, writes and reads file
+// data, lists directories, and shows both replicas converged.
+#include <cstdio>
+
+#include "netfs/fs_client.h"
+#include "smr/runtime.h"
+
+using namespace psmr;
+
+int main() {
+  smr::DeploymentConfig cfg;
+  cfg.mode = smr::Mode::kPsmr;
+  cfg.mpl = 8;  // the paper's NetFS uses 8 path ranges
+  cfg.replicas = 2;
+  cfg.service_factory = [] { return std::make_unique<netfs::FsService>(); };
+  cfg.cg_factory = [](std::size_t k) { return netfs::fs_cg(k); };
+
+  smr::Deployment deployment(std::move(cfg));
+  deployment.start();
+  netfs::FsClient fs(deployment.make_client());
+
+  // Structural commands: synchronous mode (every worker thread barriers).
+  fs.mkdir("/src");
+  fs.mkdir("/doc");
+  fs.create("/src/main.cpp");
+  fs.create("/src/util.cpp");
+  fs.create("/doc/README");
+
+  // Data commands: parallel mode, routed by path range.
+  std::string code = "int main() { return 0; }\n";
+  fs.write("/src/main.cpp", 0,
+           std::span(reinterpret_cast<const std::uint8_t*>(code.data()),
+                     code.size()));
+  std::string text = "P-SMR networked file system demo\n";
+  fs.write("/doc/README", 0,
+           std::span(reinterpret_cast<const std::uint8_t*>(text.data()),
+                     text.size()));
+
+  util::Buffer out;
+  fs.read("/src/main.cpp", 0, 1024, out);
+  std::printf("/src/main.cpp (%zu bytes): %.*s", out.size(),
+              static_cast<int>(out.size()), out.data());
+
+  std::vector<std::string> names;
+  fs.readdir("/src", names);
+  std::printf("/src:");
+  for (const auto& n : names) std::printf(" %s", n.c_str());
+  std::printf("\n");
+
+  netfs::FsStat st;
+  fs.lstat("/doc/README", st);
+  std::printf("/doc/README size=%lu dir=%d\n", st.size, st.is_dir);
+
+  // Descriptor table (replicated state, serialized commands).
+  std::uint64_t fh = 0;
+  fs.open("/doc/README", fh);
+  std::printf("opened /doc/README as fh=%lu\n", fh);
+  fs.release(fh);
+
+  fs.unlink("/src/util.cpp");
+  fs.readdir("/src", names);
+  std::printf("/src after unlink:");
+  for (const auto& n : names) std::printf(" %s", n.c_str());
+  std::printf("\n");
+
+  std::printf("replicas converged: %s\n",
+              deployment.state_digest(0) == deployment.state_digest(1)
+                  ? "yes"
+                  : "NO");
+  deployment.stop();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Quickstart: a replicated key-value store in ~40 lines.
+//
+// Shows the library's core promise (paper Section IV-B): the service code
+// and the client code are oblivious to replication and to the execution
+// mode — the same KvClient calls run against classical SMR, sP-SMR or
+// P-SMR by changing one enum in the deployment config.
+#include <cstdio>
+
+#include "kvstore/kv_client.h"
+#include "smr/runtime.h"
+
+using namespace psmr;
+
+int main() {
+  // 1. Describe the deployment: P-SMR, 4 worker threads per replica,
+  //    2 replicas (f = 1), the paper's key-value store as the service,
+  //    and the keyed C-G function derived from its C-Dep.
+  smr::DeploymentConfig cfg;
+  cfg.mode = smr::Mode::kPsmr;  // try kSmr or kSpsmr: nothing else changes
+  cfg.mpl = 4;
+  cfg.replicas = 2;
+  cfg.service_factory = [] { return std::make_unique<kvstore::KvService>(); };
+  cfg.cg_factory = [](std::size_t k) { return kvstore::kv_keyed_cg(k); };
+
+  // 2. Start the whole system: Paxos rings, multicast groups, replicas.
+  smr::Deployment deployment(std::move(cfg));
+  deployment.start();
+
+  // 3. Use the service: the client proxy multicasts each command to the
+  //    groups its C-G chooses and returns the first replica response.
+  kvstore::KvClient kv(deployment.make_client());
+  kv.insert(1, 100);            // structure change: synchronous mode
+  kv.insert(2, 200);
+  kv.update(1, 101);            // keyed: parallel mode on one worker
+  std::printf("key 1 -> %lu\n", kv.read(1).value());
+  std::printf("key 2 -> %lu\n", kv.read(2).value());
+  kv.erase(2);
+  std::printf("key 2 present after delete? %s\n",
+              kv.read(2) ? "yes" : "no");
+
+  // 4. Replicas converged: both executed the same dependent commands in
+  //    the same order and the same independent commands somewhere.
+  std::printf("replica digests: %016lx %016lx (%s)\n",
+              deployment.state_digest(0), deployment.state_digest(1),
+              deployment.state_digest(0) == deployment.state_digest(1)
+                  ? "equal"
+                  : "DIVERGED");
+  deployment.stop();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// B+-tree — the key-value store's main data structure (paper Section V-A:
+// "The main key-value store's data structure is a B+-tree", 8-byte integer
+// keys, 8-byte values).
+//
+// Single-writer tree used by the replicated deployments: P-SMR's C-Dep
+// guarantees that structure-changing commands (insert/delete) never run
+// concurrently with anything else, while reads/updates on distinct keys may
+// run in parallel.  To keep those parallel accesses well-defined, leaf
+// values are accessed through std::atomic_ref — updates change a single
+// leaf slot in place and never restructure the tree, exactly the property
+// the paper's C-Dep relies on.
+//
+// The lock-based concurrent variant used by the BDB-style server lives in
+// concurrent_bptree.h.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+namespace psmr::kvstore {
+
+class BPlusTree {
+ public:
+  using Key = std::uint64_t;
+  using Value = std::uint64_t;
+
+  /// Max entries per leaf and max keys per inner node.
+  static constexpr int kMaxEntries = 64;
+  static constexpr int kMinEntries = kMaxEntries / 2;
+
+  BPlusTree();
+  ~BPlusTree();
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  /// Inserts (k, v).  Returns false if the key already exists.
+  bool insert(Key k, Value v);
+  /// Removes k.  Returns false if the key does not exist.
+  bool erase(Key k);
+  /// Returns the value of k, if present.  Safe concurrently with update()
+  /// on other keys and with other finds.
+  [[nodiscard]] std::optional<Value> find(Key k) const;
+  /// Replaces the value of an existing key in place (no restructuring).
+  /// Returns false if the key does not exist.  Safe concurrently with
+  /// find()/update() on any keys.
+  bool update(Key k, Value v);
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// In-order traversal (ascending keys).
+  void for_each(const std::function<void(Key, Value)>& fn) const;
+
+  /// Order-sensitive digest of the full contents (replica convergence).
+  [[nodiscard]] std::uint64_t digest() const;
+
+  /// Checks the structural invariants (sorted keys, fill factors, uniform
+  /// leaf depth, correct separators, leaf chain).  Used by property tests.
+  [[nodiscard]] bool validate() const;
+
+  /// Tree height (1 = a single leaf).  Exposed for tests.
+  [[nodiscard]] int height() const;
+
+ private:
+  struct Node;
+  struct Leaf;
+  struct Inner;
+
+  Leaf* find_leaf(Key k) const;
+  // Insert into subtree; returns {separator, new right sibling} on split.
+  struct SplitResult {
+    Key separator;
+    Node* right;
+  };
+  std::optional<SplitResult> insert_rec(Node* node, Key k, Value v,
+                                        bool& inserted);
+  // Erase from subtree; returns true if `node` underflowed.
+  bool erase_rec(Node* node, Key k, bool& erased);
+  void rebalance_child(Inner* parent, int idx);
+  static void destroy(Node* node);
+  bool validate_rec(const Node* node, int depth, int leaf_depth,
+                    std::optional<Key> lo, std::optional<Key> hi) const;
+
+  Node* root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace psmr::kvstore

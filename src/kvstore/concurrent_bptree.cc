@@ -1,0 +1,520 @@
+#include "kvstore/concurrent_bptree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace psmr::kvstore {
+
+struct ConcurrentBPlusTree::Node {
+  mutable std::shared_mutex latch;
+  bool leaf;
+  int count = 0;
+  explicit Node(bool is_leaf) : leaf(is_leaf) {}
+};
+
+struct ConcurrentBPlusTree::Leaf : Node {
+  Key keys[kMaxEntries + 1];
+  Value vals[kMaxEntries + 1];
+  Leaf* next = nullptr;
+  Leaf() : Node(true) {}
+};
+
+struct ConcurrentBPlusTree::Inner : Node {
+  Key keys[kMaxEntries + 1];
+  Node* child[kMaxEntries + 2] = {};
+  Inner() : Node(false) {}
+};
+
+namespace {
+int child_index(const ConcurrentBPlusTree::Key* keys, int count,
+                ConcurrentBPlusTree::Key k) {
+  return static_cast<int>(std::upper_bound(keys, keys + count, k) - keys);
+}
+int leaf_find(const ConcurrentBPlusTree::Key* keys, int count,
+              ConcurrentBPlusTree::Key k) {
+  auto it = std::lower_bound(keys, keys + count, k);
+  if (it != keys + count && *it == k) return static_cast<int>(it - keys);
+  return -1;
+}
+}  // namespace
+
+ConcurrentBPlusTree::ConcurrentBPlusTree() : root_(new Leaf()) {}
+
+ConcurrentBPlusTree::~ConcurrentBPlusTree() { destroy(root_); }
+
+void ConcurrentBPlusTree::destroy(Node* node) {
+  if (!node->leaf) {
+    auto* inner = static_cast<Inner*>(node);
+    for (int i = 0; i <= inner->count; ++i) destroy(inner->child[i]);
+    delete inner;
+  } else {
+    delete static_cast<Leaf*>(node);
+  }
+}
+
+std::optional<ConcurrentBPlusTree::Value> ConcurrentBPlusTree::find(
+    Key k) const {
+  std::shared_lock root_guard(root_latch_);
+  Node* node = root_;
+  node->latch.lock_shared();
+  root_guard.unlock();
+  while (!node->leaf) {
+    auto* inner = static_cast<Inner*>(node);
+    Node* child = inner->child[child_index(inner->keys, inner->count, k)];
+    child->latch.lock_shared();
+    node->latch.unlock_shared();
+    node = child;
+  }
+  auto* leaf = static_cast<Leaf*>(node);
+  int pos = leaf_find(leaf->keys, leaf->count, k);
+  std::optional<Value> out;
+  if (pos >= 0) out = leaf->vals[pos];
+  leaf->latch.unlock_shared();
+  return out;
+}
+
+bool ConcurrentBPlusTree::update(Key k, Value v) {
+  std::shared_lock root_guard(root_latch_);
+  Node* node = root_;
+  if (node->leaf) {
+    node->latch.lock();  // leaf mutation needs the exclusive latch
+  } else {
+    node->latch.lock_shared();
+  }
+  root_guard.unlock();
+  while (!node->leaf) {
+    auto* inner = static_cast<Inner*>(node);
+    Node* child = inner->child[child_index(inner->keys, inner->count, k)];
+    if (child->leaf) {
+      child->latch.lock();
+    } else {
+      child->latch.lock_shared();
+    }
+    node->latch.unlock_shared();
+    node = child;
+  }
+  auto* leaf = static_cast<Leaf*>(node);
+  int pos = leaf_find(leaf->keys, leaf->count, k);
+  bool ok = pos >= 0;
+  if (ok) leaf->vals[pos] = v;
+  leaf->latch.unlock();
+  return ok;
+}
+
+bool ConcurrentBPlusTree::insert(Key k, Value v) {
+  std::lock_guard writer(writer_mu_);
+  // Crab down with exclusive latches; release ancestors once the child
+  // cannot split (safe).  `locked` is the retained unsafe suffix, rooted at
+  // the highest node a split could reach.
+  std::unique_lock root_guard(root_latch_);
+  std::vector<Node*> locked;
+  bool holding_root_latch = true;
+
+  Node* node = root_;
+  node->latch.lock();
+  locked.push_back(node);
+  if (node->count < kMaxEntries) {  // root cannot split
+    root_guard.unlock();
+    holding_root_latch = false;
+  }
+  while (!node->leaf) {
+    auto* inner = static_cast<Inner*>(node);
+    Node* child = inner->child[child_index(inner->keys, inner->count, k)];
+    child->latch.lock();
+    if (child->count < kMaxEntries) {
+      // Child is safe: no split can propagate above it.
+      for (Node* n : locked) n->latch.unlock();
+      locked.clear();
+      if (holding_root_latch) {
+        root_guard.unlock();
+        holding_root_latch = false;
+      }
+    }
+    locked.push_back(child);
+    node = child;
+  }
+
+  auto unlock_all = [&] {
+    for (Node* n : locked) n->latch.unlock();
+    locked.clear();
+  };
+
+  auto* leaf = static_cast<Leaf*>(node);
+  int pos = static_cast<int>(
+      std::lower_bound(leaf->keys, leaf->keys + leaf->count, k) - leaf->keys);
+  if (pos < leaf->count && leaf->keys[pos] == k) {
+    unlock_all();
+    return false;
+  }
+  for (int i = leaf->count; i > pos; --i) {
+    leaf->keys[i] = leaf->keys[i - 1];
+    leaf->vals[i] = leaf->vals[i - 1];
+  }
+  leaf->keys[pos] = k;
+  leaf->vals[pos] = v;
+  ++leaf->count;
+  size_.fetch_add(1, std::memory_order_relaxed);
+
+  // Propagate splits up the retained (locked) path.
+  Key sep = 0;
+  Node* right = nullptr;
+  if (leaf->count > kMaxEntries) {
+    auto* r = new Leaf();
+    int keep = leaf->count / 2;
+    r->count = leaf->count - keep;
+    std::copy(leaf->keys + keep, leaf->keys + leaf->count, r->keys);
+    std::copy(leaf->vals + keep, leaf->vals + leaf->count, r->vals);
+    leaf->count = keep;
+    r->next = leaf->next;
+    leaf->next = r;
+    sep = r->keys[0];
+    right = r;
+  }
+  // locked = [top ... leaf]; walk parents from the leaf upwards.
+  for (int i = static_cast<int>(locked.size()) - 2; i >= 0 && right != nullptr;
+       --i) {
+    auto* inner = static_cast<Inner*>(locked[static_cast<std::size_t>(i)]);
+    int idx = child_index(inner->keys, inner->count, k);
+    for (int j = inner->count; j > idx; --j) {
+      inner->keys[j] = inner->keys[j - 1];
+      inner->child[j + 1] = inner->child[j];
+    }
+    inner->keys[idx] = sep;
+    inner->child[idx + 1] = right;
+    ++inner->count;
+    right = nullptr;
+    if (inner->count > kMaxEntries) {
+      auto* r = new Inner();
+      int mid = inner->count / 2;
+      Key up = inner->keys[mid];
+      r->count = inner->count - mid - 1;
+      std::copy(inner->keys + mid + 1, inner->keys + inner->count, r->keys);
+      std::copy(inner->child + mid + 1, inner->child + inner->count + 1,
+                r->child);
+      inner->count = mid;
+      sep = up;
+      right = r;
+    }
+  }
+  if (right != nullptr) {
+    // The retained top itself split: grow a new root.  We still hold the
+    // root latch exclusively (the top was unsafe all the way up).
+    assert(holding_root_latch);
+    auto* new_root = new Inner();
+    new_root->count = 1;
+    new_root->keys[0] = sep;
+    new_root->child[0] = root_;
+    new_root->child[1] = right;
+    root_ = new_root;
+  }
+  unlock_all();
+  return true;
+}
+
+bool ConcurrentBPlusTree::erase(Key k) {
+  std::lock_guard writer(writer_mu_);
+  // With writers serialized, readers only hold shared latches transiently on
+  // their way down.  Take exclusive latches along the whole path (simple
+  // full-path crabbing: ancestors released once the child is safe, i.e.
+  // above minimum fill).
+  std::unique_lock root_guard(root_latch_);
+  std::vector<Node*> locked;
+  bool holding_root_latch = true;
+
+  Node* node = root_;
+  node->latch.lock();
+  locked.push_back(node);
+  bool root_safe = node->leaf || node->count > 1;
+  if (root_safe) {
+    root_guard.unlock();
+    holding_root_latch = false;
+  }
+  // path_idx[i] is the child index taken from locked[i] to locked[i+1]
+  // (always exactly locked.size() - 1 entries).
+  std::vector<int> path_idx;
+  while (!node->leaf) {
+    auto* inner = static_cast<Inner*>(node);
+    int idx = child_index(inner->keys, inner->count, k);
+    Node* child = inner->child[idx];
+    child->latch.lock();
+    if (child->count > kMinEntries) {
+      // Child cannot underflow: ancestors can be released, and the index
+      // into the (now unlocked) parent must not be kept.
+      for (Node* n : locked) n->latch.unlock();
+      locked.clear();
+      path_idx.clear();
+      if (holding_root_latch) {
+        root_guard.unlock();
+        holding_root_latch = false;
+      }
+    } else {
+      path_idx.push_back(idx);
+    }
+    locked.push_back(child);
+    node = child;
+  }
+
+  // Entries are nulled when a merge deletes the locked node itself.
+  auto unlock_all = [&] {
+    for (Node* n : locked) {
+      if (n != nullptr) n->latch.unlock();
+    }
+    locked.clear();
+  };
+
+  auto* leaf = static_cast<Leaf*>(node);
+  int pos = leaf_find(leaf->keys, leaf->count, k);
+  if (pos < 0) {
+    unlock_all();
+    return false;
+  }
+  for (int i = pos; i < leaf->count - 1; ++i) {
+    leaf->keys[i] = leaf->keys[i + 1];
+    leaf->vals[i] = leaf->vals[i + 1];
+  }
+  --leaf->count;
+  size_.fetch_sub(1, std::memory_order_relaxed);
+
+  // Rebalance bottom-up through the retained path.  locked[0] is the
+  // highest retained node; path_idx[i-1] is the child index taken from
+  // locked[i-1] to locked[i].  A merge may delete the locked child itself;
+  // its slot is nulled so unlock_all skips it.
+  for (int i = static_cast<int>(locked.size()) - 1; i > 0; --i) {
+    Node* cur = locked[static_cast<std::size_t>(i)];
+    if (cur == nullptr || cur->count >= kMinEntries) break;
+    auto* parent =
+        static_cast<Inner*>(locked[static_cast<std::size_t>(i - 1)]);
+    int idx = path_idx[static_cast<std::size_t>(i - 1)];
+    Node* deleted = rebalance_child_locked(parent, idx);
+    if (deleted == cur) locked[static_cast<std::size_t>(i)] = nullptr;
+  }
+  if (!root_->leaf && root_->count == 0) {
+    // The root lost its last separator: its single remaining child becomes
+    // the new root.  We still hold the root latch exclusively (an unsafe
+    // root is never released early), so no reader can observe the swap.
+    assert(holding_root_latch);
+    auto* old = static_cast<Inner*>(root_);
+    root_ = old->child[0];
+    for (auto& n : locked) {
+      if (n == old) {
+        n->latch.unlock();
+        n = nullptr;
+      }
+    }
+    delete old;
+  }
+  unlock_all();
+  return true;
+}
+
+ConcurrentBPlusTree::Node* ConcurrentBPlusTree::rebalance_child_locked(
+    Inner* parent, int idx) {
+  Node* node = parent->child[idx];
+  Node* left = idx > 0 ? parent->child[idx - 1] : nullptr;
+  Node* right = idx < parent->count ? parent->child[idx + 1] : nullptr;
+
+  if (node->leaf) {
+    auto* cur = static_cast<Leaf*>(node);
+    if (left != nullptr) {
+      auto* l = static_cast<Leaf*>(left);
+      std::lock_guard sib(l->latch);
+      if (l->count > kMinEntries) {
+        for (int i = cur->count; i > 0; --i) {
+          cur->keys[i] = cur->keys[i - 1];
+          cur->vals[i] = cur->vals[i - 1];
+        }
+        cur->keys[0] = l->keys[l->count - 1];
+        cur->vals[0] = l->vals[l->count - 1];
+        ++cur->count;
+        --l->count;
+        parent->keys[idx - 1] = cur->keys[0];
+        return nullptr;
+      }
+      // Merge cur into left.
+      std::copy(cur->keys, cur->keys + cur->count, l->keys + l->count);
+      std::copy(cur->vals, cur->vals + cur->count, l->vals + l->count);
+      l->count += cur->count;
+      l->next = cur->next;
+      for (int i = idx - 1; i < parent->count - 1; ++i) {
+        parent->keys[i] = parent->keys[i + 1];
+        parent->child[i + 1] = parent->child[i + 2];
+      }
+      --parent->count;
+      cur->latch.unlock();  // held by the caller; released before delete
+      delete cur;
+      return cur;
+    }
+    auto* r = static_cast<Leaf*>(right);
+    std::unique_lock sib(r->latch);
+    if (r->count > kMinEntries) {
+      cur->keys[cur->count] = r->keys[0];
+      cur->vals[cur->count] = r->vals[0];
+      ++cur->count;
+      for (int i = 0; i < r->count - 1; ++i) {
+        r->keys[i] = r->keys[i + 1];
+        r->vals[i] = r->vals[i + 1];
+      }
+      --r->count;
+      parent->keys[idx] = r->keys[0];
+      return nullptr;
+    }
+    // Merge right into cur.
+    std::copy(r->keys, r->keys + r->count, cur->keys + cur->count);
+    std::copy(r->vals, r->vals + r->count, cur->vals + cur->count);
+    cur->count += r->count;
+    cur->next = r->next;
+    for (int i = idx; i < parent->count - 1; ++i) {
+      parent->keys[i] = parent->keys[i + 1];
+      parent->child[i + 1] = parent->child[i + 2];
+    }
+    --parent->count;
+    sib.unlock();
+    delete r;
+    return r;
+  }
+
+  auto* cur = static_cast<Inner*>(node);
+  if (left != nullptr) {
+    auto* l = static_cast<Inner*>(left);
+    std::lock_guard sib(l->latch);
+    if (l->count > kMinEntries) {
+      // Rotate right through the parent separator.
+      cur->child[cur->count + 1] = cur->child[cur->count];
+      for (int i = cur->count; i > 0; --i) {
+        cur->keys[i] = cur->keys[i - 1];
+        cur->child[i] = cur->child[i - 1];
+      }
+      cur->keys[0] = parent->keys[idx - 1];
+      cur->child[0] = l->child[l->count];
+      ++cur->count;
+      parent->keys[idx - 1] = l->keys[l->count - 1];
+      --l->count;
+      return nullptr;
+    }
+    // Merge cur into left through the separator.
+    l->keys[l->count] = parent->keys[idx - 1];
+    std::copy(cur->keys, cur->keys + cur->count, l->keys + l->count + 1);
+    std::copy(cur->child, cur->child + cur->count + 1,
+              l->child + l->count + 1);
+    l->count += cur->count + 1;
+    for (int i = idx - 1; i < parent->count - 1; ++i) {
+      parent->keys[i] = parent->keys[i + 1];
+      parent->child[i + 1] = parent->child[i + 2];
+    }
+    --parent->count;
+    cur->latch.unlock();
+    delete cur;
+    return cur;
+  }
+  auto* r = static_cast<Inner*>(right);
+  std::unique_lock sib(r->latch);
+  if (r->count > kMinEntries) {
+    // Rotate left through the parent separator.
+    cur->keys[cur->count] = parent->keys[idx];
+    cur->child[cur->count + 1] = r->child[0];
+    ++cur->count;
+    parent->keys[idx] = r->keys[0];
+    for (int i = 0; i < r->count - 1; ++i) {
+      r->keys[i] = r->keys[i + 1];
+      r->child[i] = r->child[i + 1];
+    }
+    r->child[r->count - 1] = r->child[r->count];
+    --r->count;
+    return nullptr;
+  }
+  // Merge right into cur through the separator.
+  cur->keys[cur->count] = parent->keys[idx];
+  std::copy(r->keys, r->keys + r->count, cur->keys + cur->count + 1);
+  std::copy(r->child, r->child + r->count + 1, cur->child + cur->count + 1);
+  cur->count += r->count + 1;
+  for (int i = idx; i < parent->count - 1; ++i) {
+    parent->keys[i] = parent->keys[i + 1];
+    parent->child[i + 1] = parent->child[i + 2];
+  }
+  --parent->count;
+  sib.unlock();
+  delete r;
+  return r;
+}
+
+void ConcurrentBPlusTree::for_each(
+    const std::function<void(Key, Value)>& fn) const {
+  Node* node = root_;
+  while (!node->leaf) node = static_cast<Inner*>(node)->child[0];
+  for (auto* leaf = static_cast<Leaf*>(node); leaf; leaf = leaf->next) {
+    for (int i = 0; i < leaf->count; ++i) fn(leaf->keys[i], leaf->vals[i]);
+  }
+}
+
+std::uint64_t ConcurrentBPlusTree::digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for_each([&h](Key k, Value v) {
+    h = util::mix64(h ^ util::mix64(k) ^ (v * 0x9e3779b97f4a7c15ULL));
+  });
+  return h;
+}
+
+int ConcurrentBPlusTree::height_unlocked() const {
+  int h = 1;
+  Node* node = root_;
+  while (!node->leaf) {
+    node = static_cast<Inner*>(node)->child[0];
+    ++h;
+  }
+  return h;
+}
+
+bool ConcurrentBPlusTree::validate() const {
+  if (!validate_rec(root_, 1, height_unlocked(), std::nullopt, std::nullopt)) {
+    return false;
+  }
+  std::size_t seen = 0;
+  std::optional<Key> prev;
+  bool ok = true;
+  for_each([&](Key k, Value) {
+    if (prev && *prev >= k) ok = false;
+    prev = k;
+    ++seen;
+  });
+  return ok && seen == size();
+}
+
+bool ConcurrentBPlusTree::validate_rec(const Node* node, int depth,
+                                       int leaf_depth, std::optional<Key> lo,
+                                       std::optional<Key> hi) const {
+  const bool is_root = node == root_;
+  if (node->leaf) {
+    if (depth != leaf_depth) return false;
+    auto* leaf = static_cast<const Leaf*>(node);
+    if (!is_root && leaf->count < kMinEntries) return false;
+    if (leaf->count > kMaxEntries) return false;
+    for (int i = 0; i < leaf->count; ++i) {
+      if (i > 0 && leaf->keys[i - 1] >= leaf->keys[i]) return false;
+      if (lo && leaf->keys[i] < *lo) return false;
+      if (hi && leaf->keys[i] >= *hi) return false;
+    }
+    return true;
+  }
+  auto* inner = static_cast<const Inner*>(node);
+  if (!is_root && inner->count < kMinEntries) return false;
+  if (is_root && inner->count < 1) return false;
+  if (inner->count > kMaxEntries) return false;
+  for (int i = 0; i < inner->count; ++i) {
+    if (i > 0 && inner->keys[i - 1] >= inner->keys[i]) return false;
+  }
+  for (int i = 0; i <= inner->count; ++i) {
+    std::optional<Key> clo =
+        i == 0 ? lo : std::optional<Key>(inner->keys[i - 1]);
+    std::optional<Key> chi =
+        i == inner->count ? hi : std::optional<Key>(inner->keys[i]);
+    if (!validate_rec(inner->child[i], depth + 1, leaf_depth, clo, chi)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace psmr::kvstore

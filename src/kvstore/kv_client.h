@@ -1,0 +1,53 @@
+// Typed client API for the replicated key-value store.
+//
+// Mirrors the paper's command signatures (Section V-A); replication is
+// invisible — the same code works against every deployment mode.
+#pragma once
+
+#include <memory>
+
+#include "kvstore/kv_service.h"
+#include "smr/client.h"
+
+namespace psmr::kvstore {
+
+class KvClient {
+ public:
+  explicit KvClient(std::unique_ptr<smr::ClientProxy> proxy)
+      : proxy_(std::move(proxy)) {}
+
+  /// insert(in: k, v; out: err)
+  KvStatus insert(std::uint64_t k, std::uint64_t v) {
+    return status_call(kKvInsert, encode_key_value(k, v));
+  }
+  /// delete(in: k; out: err)
+  KvStatus erase(std::uint64_t k) {
+    return status_call(kKvDelete, encode_key(k));
+  }
+  /// read(in: k; out: v, err)
+  std::optional<std::uint64_t> read(std::uint64_t k) {
+    auto payload = proxy_->call(kKvRead, encode_key(k));
+    if (!payload) return std::nullopt;
+    auto res = decode_result(*payload);
+    if (res.status != kKvOk) return std::nullopt;
+    return res.value;
+  }
+  /// update(in: k, v; out: err)
+  KvStatus update(std::uint64_t k, std::uint64_t v) {
+    return status_call(kKvUpdate, encode_key_value(k, v));
+  }
+
+  /// The underlying proxy (for windowed asynchronous use).
+  [[nodiscard]] smr::ClientProxy& proxy() { return *proxy_; }
+
+ private:
+  KvStatus status_call(smr::CommandId cmd, util::Buffer params) {
+    auto payload = proxy_->call(cmd, std::move(params));
+    if (!payload) return kKvNotFound;  // timeout: treated as failure
+    return decode_result(*payload).status;
+  }
+
+  std::unique_ptr<smr::ClientProxy> proxy_;
+};
+
+}  // namespace psmr::kvstore

@@ -1,0 +1,137 @@
+#include "kvstore/kv_service.h"
+
+namespace psmr::kvstore {
+
+util::Buffer encode_key(std::uint64_t k) {
+  util::Writer w;
+  w.u64(k);
+  return w.take();
+}
+
+util::Buffer encode_key_value(std::uint64_t k, std::uint64_t v) {
+  util::Writer w;
+  w.u64(k);
+  w.u64(v);
+  return w.take();
+}
+
+std::uint64_t decode_key(const util::Buffer& params) {
+  util::Reader r(params);
+  return r.u64();
+}
+
+util::Buffer encode_result(KvResult res) {
+  util::Writer w;
+  w.u8(res.status);
+  w.u64(res.value);
+  return w.take();
+}
+
+KvResult decode_result(const util::Buffer& payload) {
+  util::Reader r(payload);
+  KvResult res;
+  res.status = static_cast<KvStatus>(r.u8());
+  res.value = r.u64();
+  return res;
+}
+
+namespace {
+
+// Shared command interpreter over any tree with the same micro-API.
+template <typename Tree>
+util::Buffer run_command(Tree& tree, const smr::Command& cmd) {
+  util::Reader r(cmd.params);
+  KvResult res;
+  switch (cmd.cmd) {
+    case kKvInsert: {
+      std::uint64_t k = r.u64();
+      std::uint64_t v = r.u64();
+      res.status = tree.insert(k, v) ? kKvOk : kKvExists;
+      break;
+    }
+    case kKvDelete: {
+      std::uint64_t k = r.u64();
+      res.status = tree.erase(k) ? kKvOk : kKvNotFound;
+      break;
+    }
+    case kKvRead: {
+      std::uint64_t k = r.u64();
+      if (auto v = tree.find(k)) {
+        res.value = *v;
+      } else {
+        res.status = kKvNotFound;
+      }
+      break;
+    }
+    case kKvUpdate: {
+      std::uint64_t k = r.u64();
+      std::uint64_t v = r.u64();
+      res.status = tree.update(k, v) ? kKvOk : kKvNotFound;
+      break;
+    }
+    default:
+      res.status = kKvNotFound;
+  }
+  return encode_result(res);
+}
+
+template <typename Tree>
+void preload(Tree& tree, std::uint64_t n) {
+  for (std::uint64_t k = 0; k < n; ++k) tree.insert(k, k);
+}
+
+}  // namespace
+
+KvService::KvService(std::uint64_t initial_keys) {
+  preload(tree_, initial_keys);
+}
+
+util::Buffer KvService::execute(const smr::Command& cmd) {
+  return run_command(tree_, cmd);
+}
+
+ConcurrentKvService::ConcurrentKvService(std::uint64_t initial_keys) {
+  preload(tree_, initial_keys);
+}
+
+util::Buffer ConcurrentKvService::execute(const smr::Command& cmd) {
+  return run_command(tree_, cmd);
+}
+
+smr::CDep kv_cdep() {
+  smr::CDep dep;
+  // Inserts and deletes depend on all commands (tree restructuring).
+  for (smr::CommandId other : {kKvInsert, kKvDelete, kKvRead, kKvUpdate}) {
+    dep.always(kKvInsert, other);
+    dep.always(kKvDelete, other);
+  }
+  // An update on k depends on updates and reads on the same k.
+  dep.same_key(kKvUpdate, kKvUpdate);
+  dep.same_key(kKvUpdate, kKvRead);
+  return dep;
+}
+
+smr::KeyFn kv_key_fn() {
+  return [](const smr::Command& cmd) -> std::optional<std::uint64_t> {
+    switch (cmd.cmd) {
+      case kKvInsert:
+      case kKvDelete:
+      case kKvRead:
+      case kKvUpdate:
+        return decode_key(cmd.params);
+      default:
+        return std::nullopt;
+    }
+  };
+}
+
+std::shared_ptr<const smr::CGFunction> kv_keyed_cg(std::size_t k) {
+  return smr::from_cdep(kv_cdep(), k, kv_key_fn(), kKvUpdate);
+}
+
+std::shared_ptr<const smr::CGFunction> kv_coarse_cg(std::size_t k) {
+  return std::make_shared<smr::CoarseCg>(
+      k, std::unordered_set<smr::CommandId>{kKvRead});
+}
+
+}  // namespace psmr::kvstore

@@ -1,0 +1,107 @@
+// Replicated key-value store service — paper Section V-A.
+//
+// Commands (8-byte integer keys, 8-byte values):
+//   insert(k, v) -> err     delete(k) -> err
+//   read(k)      -> v, err  update(k, v) -> err
+//
+// C-Dep, exactly as the paper defines it: "inserts and deletes depend on
+// all commands; an update on key k depends on other updates on k, on reads
+// on k, and on inserts and deletes" — because inserts/deletes may
+// restructure the B+-tree while reads/updates never do.
+#pragma once
+
+#include <memory>
+
+#include "kvstore/bptree.h"
+#include "kvstore/concurrent_bptree.h"
+#include "smr/cdep.h"
+#include "smr/cg.h"
+#include "smr/service.h"
+
+namespace psmr::kvstore {
+
+/// Command identifiers.
+enum KvCommand : smr::CommandId {
+  kKvInsert = 1,
+  kKvDelete = 2,
+  kKvRead = 3,
+  kKvUpdate = 4,
+};
+
+/// Error codes returned in responses.
+enum KvStatus : std::uint8_t {
+  kKvOk = 0,
+  kKvExists = 1,    // insert of a present key
+  kKvNotFound = 2,  // read/update/delete of a missing key
+};
+
+// --- Parameter / response marshaling (client proxy & server proxy) ---
+
+util::Buffer encode_key(std::uint64_t k);
+util::Buffer encode_key_value(std::uint64_t k, std::uint64_t v);
+/// Reads the key parameter of any KV command.
+std::uint64_t decode_key(const util::Buffer& params);
+
+struct KvResult {
+  KvStatus status = kKvOk;
+  std::uint64_t value = 0;  // only meaningful for read
+};
+util::Buffer encode_result(KvResult r);
+KvResult decode_result(const util::Buffer& payload);
+
+// --- Service bindings ---
+
+/// Deterministic single-instance service over the plain B+-tree.  Safe for
+/// P-SMR's concurrency regime (structure changes are globally serialized by
+/// the C-Dep; reads/updates touch single leaf slots atomically).
+class KvService : public smr::Service {
+ public:
+  KvService() = default;
+  /// Pre-populates keys 0..initial_keys-1 (the paper initializes the tree
+  /// with 10 million keys before measuring).
+  explicit KvService(std::uint64_t initial_keys);
+
+  util::Buffer execute(const smr::Command& cmd) override;
+  [[nodiscard]] std::uint64_t state_digest() const override {
+    return tree_.digest();
+  }
+  [[nodiscard]] const BPlusTree& tree() const { return tree_; }
+
+ private:
+  BPlusTree tree_;
+};
+
+/// Internally synchronized variant over the latch-crabbing tree, for the
+/// BDB-style lock server (fully concurrent callers, no external scheduler).
+class ConcurrentKvService : public smr::Service {
+ public:
+  ConcurrentKvService() = default;
+  explicit ConcurrentKvService(std::uint64_t initial_keys);
+
+  util::Buffer execute(const smr::Command& cmd) override;
+  [[nodiscard]] std::uint64_t state_digest() const override {
+    return tree_.digest();
+  }
+  [[nodiscard]] const ConcurrentBPlusTree& tree() const { return tree_; }
+
+ private:
+  ConcurrentBPlusTree tree_;
+};
+
+// --- Dependency metadata (provided by the service designer, §IV-B) ---
+
+/// The paper's C-Dep for this service.
+smr::CDep kv_cdep();
+
+/// Key extractor for same-key dependency checks and the keyed C-G.
+smr::KeyFn kv_key_fn();
+
+/// Keyed C-G (paper's second example): read/update → group (key mod k);
+/// insert/delete → all groups.
+std::shared_ptr<const smr::CGFunction> kv_keyed_cg(std::size_t k);
+
+/// Coarse C-G (paper's first example): read → one pseudo-random group;
+/// everything else → all groups.
+std::shared_ptr<const smr::CGFunction> kv_coarse_cg(std::size_t k);
+
+}  // namespace psmr::kvstore

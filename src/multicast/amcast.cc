@@ -1,0 +1,74 @@
+#include "multicast/amcast.h"
+
+#include <chrono>
+
+namespace psmr::multicast {
+
+Bus::Bus(transport::Network& net, BusConfig cfg)
+    : net_(net), cfg_(std::move(cfg)) {
+  const bool merging = cfg_.num_groups > 1;
+  paxos::RingConfig ring_cfg = cfg_.ring;
+  if (merging && ring_cfg.skip_interval.count() == 0) {
+    // Merge needs idle rings to keep deciding SKIPs or delivery stalls.
+    ring_cfg.skip_interval = std::chrono::microseconds(500);
+  }
+  if (!merging) {
+    // Single stream: skips are pure overhead.
+    ring_cfg.skip_interval = std::chrono::microseconds(0);
+  }
+  cfg_.ring = ring_cfg;
+  for (std::size_t g = 0; g < cfg_.num_groups; ++g) {
+    rings_.push_back(std::make_unique<paxos::Ring>(
+        net_, static_cast<paxos::RingId>(g), ring_cfg));
+  }
+  if (merging) {
+    shared_ring_ = std::make_unique<paxos::Ring>(
+        net_, static_cast<paxos::RingId>(cfg_.num_groups), ring_cfg);
+  }
+}
+
+void Bus::start() {
+  for (auto& r : rings_) r->start();
+  if (shared_ring_) shared_ring_->start();
+}
+
+void Bus::stop() {
+  for (auto& r : rings_) r->stop();
+  if (shared_ring_) shared_ring_->stop();
+}
+
+bool Bus::multicast(transport::NodeId from, GroupSet groups,
+                    util::Buffer message) {
+  if (groups.empty()) return false;
+  if (groups.singleton()) {
+    return rings_.at(groups.min())->submit(from, std::move(message));
+  }
+  if (shared_ring_) {
+    return shared_ring_->submit(from, std::move(message));
+  }
+  // k == 1 deployments: "all groups" is just group 0.
+  return rings_.at(0)->submit(from, std::move(message));
+}
+
+std::unique_ptr<MergeDeliverer> Bus::subscribe(GroupId group) {
+  std::vector<std::unique_ptr<paxos::LearnerLog>> logs;
+  logs.push_back(rings_.at(group)->subscribe());
+  if (shared_ring_) logs.push_back(shared_ring_->subscribe());
+  return std::make_unique<MergeDeliverer>(std::move(logs));
+}
+
+std::uint64_t Bus::decided_commands() const {
+  std::uint64_t total = 0;
+  for (const auto& r : rings_) total += r->stats().decided_commands;
+  if (shared_ring_) total += shared_ring_->stats().decided_commands;
+  return total;
+}
+
+std::uint64_t Bus::decided_skips() const {
+  std::uint64_t total = 0;
+  for (const auto& r : rings_) total += r->stats().decided_skips;
+  if (shared_ring_) total += shared_ring_->stats().decided_skips;
+  return total;
+}
+
+}  // namespace psmr::multicast

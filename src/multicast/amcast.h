@@ -1,0 +1,78 @@
+// Atomic multicast bus: the paper's "multicast library" (Figure 1).
+//
+// Composes one Paxos ring per worker group plus, when more than one worker
+// group exists, a shared ring for g_all — exactly the prototype layout of
+// Section VI-A: "each thread t_i belongs to two groups: one group g_i to
+// which no other thread in the server belongs, and one group g_all to which
+// every thread in each server belongs"; "a message can be addressed to a
+// single group only", so a multi-group destination set is routed through
+// g_all and filtered by subscribers.
+//
+// Guarantees (paper Section II): agreement — if one correct learner of a
+// group delivers m, all do (Paxos decides + catch-up); order — the delivery
+// relation is acyclic because each ring is totally ordered and merged
+// streams interleave deterministically (merge.h).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "multicast/group.h"
+#include "multicast/merge.h"
+#include "paxos/ring.h"
+
+namespace psmr::multicast {
+
+/// Configuration for a bus instance.
+struct BusConfig {
+  /// Number of worker groups k (the multiprogramming level).
+  std::size_t num_groups = 1;
+  /// Ring tuning applied to every ring.  skip_interval is forced on for
+  /// worker rings and the shared ring whenever merging is in effect
+  /// (num_groups > 1), because deterministic merge needs idle rings to
+  /// keep deciding SKIPs.
+  paxos::RingConfig ring;
+};
+
+/// One atomic-multicast domain shared by clients and replicas.
+class Bus {
+ public:
+  Bus(transport::Network& net, BusConfig cfg);
+
+  Bus(const Bus&) = delete;
+  Bus& operator=(const Bus&) = delete;
+
+  void start();
+  void stop();
+
+  [[nodiscard]] std::size_t num_groups() const { return cfg_.num_groups; }
+  [[nodiscard]] bool has_shared_ring() const { return shared_ring_ != nullptr; }
+
+  /// Multicasts an opaque message to the groups in γ.
+  /// Routing: singleton γ → that group's ring; otherwise the shared ring.
+  bool multicast(transport::NodeId from, GroupSet groups,
+                 util::Buffer message);
+
+  /// Subscribes worker group g: the returned deliverer merges g's ring with
+  /// the shared ring (if any) deterministically.  Every subscriber of the
+  /// same group on any replica observes the identical stream.
+  std::unique_ptr<MergeDeliverer> subscribe(GroupId group);
+
+  /// Total commands decided across all rings (skips excluded).
+  [[nodiscard]] std::uint64_t decided_commands() const;
+  /// Total SKIP batches decided across all rings (merge overhead metric).
+  [[nodiscard]] std::uint64_t decided_skips() const;
+
+  /// Test hook: the ring carrying singleton traffic for group g.
+  [[nodiscard]] paxos::Ring& group_ring(GroupId g) { return *rings_.at(g); }
+  /// Test hook: the shared ring (requires has_shared_ring()).
+  [[nodiscard]] paxos::Ring& shared_ring() { return *shared_ring_; }
+
+ private:
+  transport::Network& net_;
+  BusConfig cfg_;
+  std::vector<std::unique_ptr<paxos::Ring>> rings_;
+  std::unique_ptr<paxos::Ring> shared_ring_;
+};
+
+}  // namespace psmr::multicast

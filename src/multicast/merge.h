@@ -1,0 +1,76 @@
+// Deterministic merge of multiple ring streams into one delivery sequence.
+//
+// A P-SMR worker thread subscribes to its own group's ring and to the
+// shared g_all ring.  Replica consistency requires that *every* replica's
+// thread t_i interleaves the two streams identically; arrival timing must
+// not matter.  Following Multi-Ring Paxos (paper reference [9]), the merge
+// consumes decided batches round-robin: batch j of ring 0, batch j of ring
+// 1, batch j+1 of ring 0, ...  An idle ring would stall the rotation, which
+// is why coordinators decide SKIP batches when idle; a SKIP advances the
+// rotation and delivers nothing.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "multicast/group.h"
+#include "paxos/learner.h"
+
+namespace psmr::multicast {
+
+/// One delivered message, tagged with the ring (group stream) it came from.
+struct Delivery {
+  /// Worker-group ring index within the subscription (not a GroupId): the
+  /// shared ring, when present, is the last entry.
+  std::size_t stream = 0;
+  util::Buffer message;
+};
+
+/// Merges one or more LearnerLogs deterministically.  Single-log instances
+/// degenerate to plain ordered delivery (used by SMR and sP-SMR).
+class MergeDeliverer {
+ public:
+  explicit MergeDeliverer(std::vector<std::unique_ptr<paxos::LearnerLog>> logs)
+      : logs_(std::move(logs)) {}
+
+  /// Blocks for the next message in merged deterministic order.
+  /// std::nullopt means the network shut down.
+  std::optional<Delivery> next() {
+    while (true) {
+      if (!ready_.empty()) {
+        Delivery d = std::move(ready_.front());
+        ready_.pop_front();
+        return d;
+      }
+      auto decision = logs_[cursor_]->next();
+      if (!decision) return std::nullopt;
+      std::size_t stream = cursor_;
+      cursor_ = (cursor_ + 1) % logs_.size();
+      if (decision->batch.skip) continue;
+      for (auto& cmd : decision->batch.commands) {
+        ready_.push_back(Delivery{stream, std::move(cmd)});
+      }
+    }
+  }
+
+  /// Unblocks any pending next() and makes future calls return nullopt.
+  void close() {
+    for (auto& log : logs_) log->close();
+  }
+
+  [[nodiscard]] std::size_t num_streams() const { return logs_.size(); }
+
+  /// Number of decisions consumed so far from stream `i` (test hook).
+  [[nodiscard]] paxos::Instance stream_position(std::size_t i) const {
+    return logs_.at(i)->next_instance();
+  }
+
+ private:
+  std::vector<std::unique_ptr<paxos::LearnerLog>> logs_;
+  std::size_t cursor_ = 0;
+  std::deque<Delivery> ready_;
+};
+
+}  // namespace psmr::multicast

@@ -1,0 +1,220 @@
+#include "netfs/fs.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace psmr::netfs {
+
+MemFs::MemFs() {
+  Inode root;
+  root.is_dir = true;
+  root.mode = 0755;
+  inodes_.emplace(kRoot, std::move(root));
+}
+
+std::optional<MemFs::InodeId> MemFs::lookup_id(
+    std::string_view normalized) const {
+  InodeId cur = kRoot;
+  for (const auto& comp : split_path(normalized)) {
+    auto it = inodes_.find(cur);
+    if (it == inodes_.end() || !it->second.is_dir) return std::nullopt;
+    auto entry = it->second.entries.find(comp);
+    if (entry == it->second.entries.end()) return std::nullopt;
+    cur = entry->second;
+  }
+  return cur;
+}
+
+const MemFs::Inode* MemFs::lookup(std::string_view normalized) const {
+  auto id = lookup_id(normalized);
+  if (!id) return nullptr;
+  auto it = inodes_.find(*id);
+  return it == inodes_.end() ? nullptr : &it->second;
+}
+
+MemFs::Inode* MemFs::lookup(std::string_view normalized) {
+  return const_cast<Inode*>(
+      static_cast<const MemFs*>(this)->lookup(normalized));
+}
+
+int MemFs::add_entry(const std::string& path, bool is_dir,
+                     std::uint32_t mode) {
+  std::string norm = normalize_path(path);
+  if (norm == "/") return -EEXIST;
+  std::string parent = parent_path(norm);
+  std::string name = base_name(norm);
+  if (name == "." || name == "..") return -EINVAL;
+  Inode* dir = lookup(parent);
+  if (dir == nullptr) return -ENOENT;
+  if (!dir->is_dir) return -ENOTDIR;
+  if (dir->entries.contains(name)) return -EEXIST;
+  InodeId id = next_inode_++;
+  Inode node;
+  node.is_dir = is_dir;
+  node.mode = mode;
+  dir->entries.emplace(name, id);
+  inodes_.emplace(id, std::move(node));
+  return 0;
+}
+
+int MemFs::create(const std::string& path, std::uint32_t mode) {
+  return add_entry(path, /*is_dir=*/false, mode);
+}
+
+int MemFs::mkdir(const std::string& path, std::uint32_t mode) {
+  return add_entry(path, /*is_dir=*/true, mode);
+}
+
+int MemFs::unlink(const std::string& path) {
+  std::string norm = normalize_path(path);
+  if (norm == "/") return -EISDIR;
+  Inode* dir = lookup(parent_path(norm));
+  if (dir == nullptr || !dir->is_dir) return -ENOENT;
+  auto entry = dir->entries.find(base_name(norm));
+  if (entry == dir->entries.end()) return -ENOENT;
+  auto node = inodes_.find(entry->second);
+  if (node != inodes_.end() && node->second.is_dir) return -EISDIR;
+  inodes_.erase(entry->second);
+  dir->entries.erase(entry);
+  return 0;
+}
+
+int MemFs::rmdir(const std::string& path) {
+  std::string norm = normalize_path(path);
+  if (norm == "/") return -EBUSY;
+  Inode* dir = lookup(parent_path(norm));
+  if (dir == nullptr || !dir->is_dir) return -ENOENT;
+  auto entry = dir->entries.find(base_name(norm));
+  if (entry == dir->entries.end()) return -ENOENT;
+  auto node = inodes_.find(entry->second);
+  if (node == inodes_.end() || !node->second.is_dir) return -ENOTDIR;
+  if (!node->second.entries.empty()) return -ENOTEMPTY;
+  inodes_.erase(entry->second);
+  dir->entries.erase(entry);
+  return 0;
+}
+
+int MemFs::open(const std::string& path, std::uint64_t& fh) {
+  auto id = lookup_id(normalize_path(path));
+  if (!id) return -ENOENT;
+  auto it = inodes_.find(*id);
+  if (it->second.is_dir) return -EISDIR;
+  fh = next_fh_++;
+  fd_table_.emplace(fh, *id);
+  return 0;
+}
+
+int MemFs::release(std::uint64_t fh) {
+  return fd_table_.erase(fh) > 0 ? 0 : -EBADF;
+}
+
+int MemFs::opendir(const std::string& path, std::uint64_t& fh) {
+  auto id = lookup_id(normalize_path(path));
+  if (!id) return -ENOENT;
+  auto it = inodes_.find(*id);
+  if (!it->second.is_dir) return -ENOTDIR;
+  fh = next_fh_++;
+  fd_table_.emplace(fh, *id);
+  return 0;
+}
+
+int MemFs::releasedir(std::uint64_t fh) { return release(fh); }
+
+int MemFs::utimens(const std::string& path, std::int64_t atime_ns,
+                   std::int64_t mtime_ns) {
+  Inode* node = lookup(normalize_path(path));
+  if (node == nullptr) return -ENOENT;
+  node->atime_ns = atime_ns;
+  node->mtime_ns = mtime_ns;
+  return 0;
+}
+
+int MemFs::access(const std::string& path, std::uint32_t mask) const {
+  const Inode* node = lookup(normalize_path(path));
+  if (node == nullptr) return -ENOENT;
+  // Owner permission bits only (single-principal file system).
+  std::uint32_t perms = (node->mode >> 6) & 7;
+  if ((mask & perms) != mask && mask != 0) return -EACCES;
+  return 0;
+}
+
+int MemFs::lstat(const std::string& path, FsStat& out) const {
+  std::string norm = normalize_path(path);
+  auto id = lookup_id(norm);
+  if (!id) return -ENOENT;
+  const auto& node = inodes_.at(*id);
+  out.is_dir = node.is_dir;
+  out.mode = node.mode;
+  out.size = node.is_dir ? node.entries.size() : node.data.size();
+  out.atime_ns = node.atime_ns;
+  out.mtime_ns = node.mtime_ns;
+  out.inode = *id;
+  return 0;
+}
+
+int MemFs::read(const std::string& path, std::uint64_t offset,
+                std::uint32_t size, util::Buffer& out) const {
+  const Inode* node = lookup(normalize_path(path));
+  if (node == nullptr) return -ENOENT;
+  if (node->is_dir) return -EISDIR;
+  out.clear();
+  if (offset >= node->data.size()) return 0;  // EOF: empty read
+  std::uint64_t end = std::min<std::uint64_t>(offset + size,
+                                              node->data.size());
+  out.assign(node->data.begin() + static_cast<std::ptrdiff_t>(offset),
+             node->data.begin() + static_cast<std::ptrdiff_t>(end));
+  return 0;
+}
+
+int MemFs::write(const std::string& path, std::uint64_t offset,
+                 std::span<const std::uint8_t> data) {
+  Inode* node = lookup(normalize_path(path));
+  if (node == nullptr) return -ENOENT;
+  if (node->is_dir) return -EISDIR;
+  if (offset + data.size() > node->data.size()) {
+    node->data.resize(offset + data.size(), 0);
+  }
+  std::copy(data.begin(), data.end(),
+            node->data.begin() + static_cast<std::ptrdiff_t>(offset));
+  return 0;
+}
+
+int MemFs::readdir(const std::string& path,
+                   std::vector<std::string>& names) const {
+  const Inode* node = lookup(normalize_path(path));
+  if (node == nullptr) return -ENOENT;
+  if (!node->is_dir) return -ENOTDIR;
+  names.clear();
+  for (const auto& [name, id] : node->entries) names.push_back(name);
+  return 0;
+}
+
+std::uint64_t MemFs::digest() const {
+  // Fold a deterministic walk of the tree plus the descriptor table.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  std::vector<std::pair<std::string, InodeId>> stack{{"/", kRoot}};
+  while (!stack.empty()) {
+    auto [path, id] = std::move(stack.back());
+    stack.pop_back();
+    const auto& node = inodes_.at(id);
+    h = util::mix64(h ^ util::fnv1a(path));
+    h = util::mix64(h ^ (node.is_dir ? 0xd1d1 : 0xf1f1) ^ node.mode);
+    h = util::mix64(h ^ static_cast<std::uint64_t>(node.atime_ns) ^
+                    (static_cast<std::uint64_t>(node.mtime_ns) << 1));
+    if (node.is_dir) {
+      for (const auto& [name, child] : node.entries) {
+        stack.emplace_back(path == "/" ? "/" + name : path + "/" + name,
+                           child);
+      }
+    } else {
+      h = util::mix64(h ^ util::fnv1a(node.data));
+    }
+  }
+  for (const auto& [fh, id] : fd_table_) {
+    h ^= util::mix64(fh * 0x9e3779b97f4a7c15ULL ^ id);
+  }
+  return h;
+}
+
+}  // namespace psmr::netfs

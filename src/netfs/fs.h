@@ -1,0 +1,111 @@
+// In-memory file system — the state machine behind NetFS (paper Section V-B).
+//
+// Implements the FUSE-call subset the paper lists: create, mknod, mkdir,
+// unlink, rmdir, open, utimens, release, opendir, releasedir (structure /
+// descriptor-table commands) and access, lstat, read, write, readdir
+// (per-path commands).  No soft or hard links, exactly like the paper.
+//
+// Every open file descriptor seen by a client maps to a local descriptor in
+// a hash table shared by all threads — the reason the paper serializes the
+// descriptor commands against everything.
+//
+// Concurrency contract (mirrors the paper's C-Dep): the structure commands
+// are only ever executed serially (all worker threads barriered); the
+// per-path commands may run concurrently for *different* paths, and only
+// read inode-table/directory structure while mutating a single file's
+// content — safe without locks under that regime.
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netfs/path.h"
+#include "util/bytes.h"
+
+namespace psmr::netfs {
+
+/// Subset of struct stat that NetFS reports.
+struct FsStat {
+  bool is_dir = false;
+  std::uint32_t mode = 0;
+  std::uint64_t size = 0;
+  std::int64_t atime_ns = 0;
+  std::int64_t mtime_ns = 0;
+  std::uint64_t inode = 0;
+};
+
+class MemFs {
+ public:
+  MemFs();
+
+  MemFs(const MemFs&) = delete;
+  MemFs& operator=(const MemFs&) = delete;
+
+  // All operations return 0 on success or a negative errno.
+
+  /// Creates a regular file (create == mknod for regular files here).
+  int create(const std::string& path, std::uint32_t mode);
+  int mknod(const std::string& path, std::uint32_t mode) {
+    return create(path, mode);
+  }
+  int mkdir(const std::string& path, std::uint32_t mode);
+  int unlink(const std::string& path);
+  int rmdir(const std::string& path);
+  int open(const std::string& path, std::uint64_t& fh);
+  int release(std::uint64_t fh);
+  int opendir(const std::string& path, std::uint64_t& fh);
+  int releasedir(std::uint64_t fh);
+  int utimens(const std::string& path, std::int64_t atime_ns,
+              std::int64_t mtime_ns);
+
+  int access(const std::string& path, std::uint32_t mask) const;
+  int lstat(const std::string& path, FsStat& out) const;
+  /// Reads up to `size` bytes at `offset`; short reads at EOF.
+  int read(const std::string& path, std::uint64_t offset, std::uint32_t size,
+           util::Buffer& out) const;
+  /// Writes at `offset`, extending (zero-filling) the file as needed.
+  int write(const std::string& path, std::uint64_t offset,
+            std::span<const std::uint8_t> data);
+  int readdir(const std::string& path, std::vector<std::string>& names) const;
+
+  /// Number of live inodes (including the root).
+  [[nodiscard]] std::size_t inode_count() const { return inodes_.size(); }
+  /// Number of open descriptors (files + directories).
+  [[nodiscard]] std::size_t open_count() const { return fd_table_.size(); }
+
+  /// Deterministic digest of the full tree (paths, metadata, contents, and
+  /// the descriptor table) for replica-convergence checks.
+  [[nodiscard]] std::uint64_t digest() const;
+
+ private:
+  using InodeId = std::uint64_t;
+
+  struct Inode {
+    bool is_dir = false;
+    std::uint32_t mode = 0;
+    std::int64_t atime_ns = 0;
+    std::int64_t mtime_ns = 0;
+    std::map<std::string, InodeId> entries;  // directories
+    util::Buffer data;                       // regular files
+  };
+
+  [[nodiscard]] const Inode* lookup(std::string_view normalized) const;
+  [[nodiscard]] Inode* lookup(std::string_view normalized);
+  [[nodiscard]] std::optional<InodeId> lookup_id(
+      std::string_view normalized) const;
+  int add_entry(const std::string& path, bool is_dir, std::uint32_t mode);
+
+  std::unordered_map<InodeId, Inode> inodes_;
+  std::unordered_map<std::uint64_t, InodeId> fd_table_;
+  InodeId next_inode_ = 1;
+  std::uint64_t next_fh_ = 1;
+  static constexpr InodeId kRoot = 0;
+};
+
+}  // namespace psmr::netfs

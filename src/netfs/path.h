@@ -1,0 +1,73 @@
+// Path utilities and the path-range partition for NetFS.
+//
+// The paper's NetFS prototype "created eight path ranges, each one assigned
+// to a separate thread at the server ... Nine multicast groups are used,
+// eight of them for per-path requests, and one for serialized requests"
+// (Section VI-C).  Our partition assigns a path to one of k groups; the
+// shared g_all group plays the role of the ninth, serialized group.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace psmr::netfs {
+
+/// Normalizes a path: leading '/', collapses duplicate slashes, strips a
+/// trailing slash (except for the root itself).  No '.'/'..' resolution —
+/// NetFS rejects those components instead (no links, paper Section V-B).
+inline std::string normalize_path(std::string_view path) {
+  std::string out = "/";
+  for (std::size_t i = 0; i < path.size();) {
+    while (i < path.size() && path[i] == '/') ++i;
+    std::size_t start = i;
+    while (i < path.size() && path[i] != '/') ++i;
+    if (i > start) {
+      if (out.back() != '/') out += '/';
+      out.append(path.substr(start, i - start));
+    }
+  }
+  return out;
+}
+
+/// Splits a normalized path into components ("/a/b" -> {"a", "b"}).
+inline std::vector<std::string> split_path(std::string_view path) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') ++i;
+    std::size_t start = i;
+    while (i < path.size() && path[i] != '/') ++i;
+    if (i > start) out.emplace_back(path.substr(start, i - start));
+  }
+  return out;
+}
+
+/// Parent directory of a normalized path ("/a/b" -> "/a", "/a" -> "/").
+inline std::string parent_path(std::string_view path) {
+  auto pos = path.find_last_of('/');
+  if (pos == 0 || pos == std::string_view::npos) return "/";
+  return std::string(path.substr(0, pos));
+}
+
+/// Final component ("/a/b" -> "b"); empty for the root.
+inline std::string base_name(std::string_view path) {
+  auto pos = path.find_last_of('/');
+  if (pos == std::string_view::npos) return std::string(path);
+  return std::string(path.substr(pos + 1));
+}
+
+/// Stable conflict key for a path (used by C-Dep same-key checks).
+inline std::uint64_t path_key(std::string_view normalized) {
+  return util::fnv1a(normalized);
+}
+
+/// Path → one of k worker groups.  Hash-based ranges: balanced regardless
+/// of name distribution, deterministic across clients and replicas.
+inline std::uint32_t path_group(std::string_view normalized, std::size_t k) {
+  return static_cast<std::uint32_t>(util::mix64(path_key(normalized)) % k);
+}
+
+}  // namespace psmr::netfs

@@ -1,0 +1,99 @@
+#include "paxos/acceptor.h"
+
+#include "util/log.h"
+
+namespace psmr::paxos {
+
+using transport::MsgType;
+
+void Acceptor::handle(transport::Message msg) {
+  util::Reader r(msg.payload);
+  try {
+    switch (msg.type) {
+      case MsgType::kPaxosPrepare:
+        on_prepare(msg.from, r);
+        break;
+      case MsgType::kPaxosAccept:
+        on_accept(msg.from, r);
+        break;
+      case MsgType::kPaxosDecide:
+        on_decide(r);
+        break;
+      case MsgType::kPaxosCatchupReq:
+        on_catchup(msg.from, r);
+        break;
+      default:
+        PSMR_WARN("acceptor " << name() << ": unexpected msg type "
+                              << msg.type);
+    }
+  } catch (const util::DecodeError& e) {
+    PSMR_ERROR("acceptor " << name() << ": malformed message: " << e.what());
+  }
+}
+
+void Acceptor::on_prepare(transport::NodeId from, util::Reader& r) {
+  Ballot ballot = r.u64();
+  Instance from_inst = r.u64();
+  if (ballot < promised_) {
+    util::Writer w;
+    w.u64(promised_);
+    send(from, MsgType::kPaxosNack, w.take());
+    return;
+  }
+  promised_ = ballot;
+  util::Writer w;
+  w.u64(ballot);
+  auto it = accepted_.lower_bound(from_inst);
+  std::uint32_t n = 0;
+  for (auto probe = it; probe != accepted_.end(); ++probe) ++n;
+  w.u32(n);
+  for (; it != accepted_.end(); ++it) {
+    w.u64(it->first);
+    w.u64(it->second.ballot);
+    w.bytes(it->second.value);
+  }
+  send(from, MsgType::kPaxosPromise, w.take());
+}
+
+void Acceptor::on_accept(transport::NodeId from, util::Reader& r) {
+  Ballot ballot = r.u64();
+  Instance inst = r.u64();
+  util::Buffer value = r.bytes();
+  if (ballot < promised_) {
+    util::Writer w;
+    w.u64(promised_);
+    send(from, MsgType::kPaxosNack, w.take());
+    return;
+  }
+  promised_ = ballot;
+  accepted_[inst] = AcceptedEntry{ballot, std::move(value)};
+  util::Writer w;
+  w.u64(ballot);
+  w.u64(inst);
+  send(from, MsgType::kPaxosAccepted, w.take());
+}
+
+void Acceptor::on_decide(util::Reader& r) {
+  Instance inst = r.u64();
+  decided_[inst] = r.bytes();
+}
+
+void Acceptor::on_catchup(transport::NodeId from, util::Reader& r) {
+  Instance lo = r.u64();
+  Instance hi = r.u64();
+  util::Writer w;
+  std::uint32_t n = 0;
+  for (auto it = decided_.lower_bound(lo);
+       it != decided_.end() && it->first <= hi; ++it) {
+    ++n;
+  }
+  w.u32(n);
+  for (auto it = decided_.lower_bound(lo);
+       it != decided_.end() && it->first <= hi; ++it) {
+    w.u64(it->first);
+    w.bytes(it->second);
+  }
+  send(from, MsgType::kPaxosCatchupRep, w.take());
+}
+
+}  // namespace psmr::paxos

@@ -1,0 +1,56 @@
+// Paxos acceptor for one ring.
+//
+// Implements the standard single-decree acceptor per instance (promise /
+// accept with a single promised ballot covering all instances, as in
+// multi-Paxos), plus two extensions the rest of the stack relies on:
+//   * it learns DECIDE messages and stores decided values, serving learner
+//     catch-up requests (recovering from dropped DECIDEs or late joiners);
+//   * PROMISE replies carry every accepted (instance, ballot, value) at or
+//     above the requested instance so a new coordinator can re-propose.
+#pragma once
+
+#include <map>
+
+#include "paxos/types.h"
+#include "transport/endpoint.h"
+
+namespace psmr::paxos {
+
+/// Message schemas (util::Writer layouts) used between ring participants:
+///   PREPARE   : ballot u64, from_instance u64
+///   PROMISE   : ballot u64, n u32, n * { instance u64, ballot u64, value bytes }
+///   ACCEPT    : ballot u64, instance u64, value bytes
+///   ACCEPTED  : ballot u64, instance u64
+///   NACK      : promised_ballot u64
+///   DECIDE    : instance u64, value bytes
+///   CATCHUPREQ: from u64, to u64 (inclusive)
+///   CATCHUPREP: n u32, n * { instance u64, value bytes }
+class Acceptor : public transport::Endpoint {
+ public:
+  Acceptor(transport::Network& net, RingId ring)
+      : Endpoint(net, "acceptor-ring" + std::to_string(ring)) {}
+
+  /// Test/monitoring hooks (thread-safe only after stop()).
+  [[nodiscard]] Ballot promised() const { return promised_; }
+  [[nodiscard]] std::size_t decided_count() const { return decided_.size(); }
+
+ protected:
+  void handle(transport::Message msg) override;
+
+ private:
+  void on_prepare(transport::NodeId from, util::Reader& r);
+  void on_accept(transport::NodeId from, util::Reader& r);
+  void on_decide(util::Reader& r);
+  void on_catchup(transport::NodeId from, util::Reader& r);
+
+  struct AcceptedEntry {
+    Ballot ballot = 0;
+    util::Buffer value;
+  };
+
+  Ballot promised_ = 0;
+  std::map<Instance, AcceptedEntry> accepted_;
+  std::map<Instance, util::Buffer> decided_;
+};
+
+}  // namespace psmr::paxos

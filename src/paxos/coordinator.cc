@@ -1,0 +1,269 @@
+#include "paxos/coordinator.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace psmr::paxos {
+
+using transport::MsgType;
+namespace chrono = std::chrono;
+
+namespace {
+chrono::microseconds pick_tick(const RingConfig& cfg) {
+  auto tick = cfg.batch_timeout / 2;
+  if (cfg.skip_interval.count() > 0) {
+    tick = std::min(tick, cfg.skip_interval / 2);
+  }
+  return std::max(tick, chrono::microseconds(50));
+}
+}  // namespace
+
+Coordinator::Coordinator(transport::Network& net, RingId ring, RingConfig cfg,
+                         std::vector<transport::NodeId> acceptors,
+                         std::shared_ptr<LearnerRegistry> learners,
+                         std::uint32_t proposer_index,
+                         std::uint64_t start_round)
+    : Endpoint(net, "coord-ring" + std::to_string(ring) + "-p" +
+                        std::to_string(proposer_index)),
+      ring_(ring),
+      cfg_(std::move(cfg)),
+      acceptors_(std::move(acceptors)),
+      learners_(std::move(learners)),
+      proposer_index_(proposer_index),
+      tick_(pick_tick(cfg_)),
+      round_(start_round),
+      ballot_(make_ballot(start_round, proposer_index)) {
+  last_activity_ = chrono::steady_clock::now();
+  begin_prepare();
+}
+
+void Coordinator::handle(transport::Message msg) {
+  util::Reader r(msg.payload);
+  try {
+    switch (msg.type) {
+      case MsgType::kPaxosSubmit:
+        on_submit(std::move(msg.payload));
+        break;
+      case MsgType::kPaxosPromise:
+        on_promise(msg.from, r);
+        break;
+      case MsgType::kPaxosAccepted:
+        on_accepted(msg.from, r);
+        break;
+      case MsgType::kPaxosNack:
+        on_nack(r);
+        break;
+      default:
+        PSMR_WARN("coordinator " << name() << ": unexpected msg type "
+                                 << msg.type);
+    }
+  } catch (const util::DecodeError& e) {
+    PSMR_ERROR("coordinator " << name() << ": malformed message: "
+                              << e.what());
+  }
+}
+
+void Coordinator::begin_prepare() {
+  phase_ = Phase::kPreparing;
+  promises_.clear();
+  promised_values_.clear();
+  prepare_sent_ = chrono::steady_clock::now();
+  util::Writer w;
+  w.u64(ballot_);
+  w.u64(0);  // learn everything; acceptors prune nothing in this prototype
+  for (auto a : acceptors_) {
+    send(a, MsgType::kPaxosPrepare, w.view());
+  }
+  PSMR_DEBUG("ring " << ring_ << ": prepare ballot " << ballot_);
+}
+
+void Coordinator::on_submit(util::Buffer cmd) {
+  if (pending_.empty()) batch_started_ = chrono::steady_clock::now();
+  pending_bytes_ += cmd.size();
+  pending_.push_back(std::move(cmd));
+  if (pending_bytes_ >= cfg_.max_batch_bytes ||
+      pending_.size() >= cfg_.max_batch_commands) {
+    seal_batch();
+  }
+  pump_proposals();
+}
+
+void Coordinator::seal_batch() {
+  if (pending_.empty()) return;
+  Batch b;
+  b.skip = false;
+  b.commands = std::move(pending_);
+  pending_.clear();
+  pending_bytes_ = 0;
+  sealed_.push_back(b.encode());
+}
+
+void Coordinator::pump_proposals() {
+  if (phase_ != Phase::kSteady) return;
+  while (!sealed_.empty() && in_flight_.size() < cfg_.pipeline_window) {
+    util::Buffer value = std::move(sealed_.front());
+    sealed_.pop_front();
+    propose(next_instance_++, std::move(value));
+  }
+}
+
+void Coordinator::propose(Instance inst, util::Buffer value) {
+  auto [it, inserted] = in_flight_.try_emplace(inst);
+  if (!inserted) return;
+  it->second.value = std::move(value);
+  send_accepts(inst);
+  last_activity_ = chrono::steady_clock::now();
+}
+
+void Coordinator::send_accepts(Instance inst) {
+  auto it = in_flight_.find(inst);
+  if (it == in_flight_.end()) return;
+  it->second.last_send = chrono::steady_clock::now();
+  util::Writer w;
+  w.u64(ballot_);
+  w.u64(inst);
+  w.bytes(it->second.value);
+  for (auto a : acceptors_) {
+    if (!it->second.acks.contains(a)) {
+      send(a, MsgType::kPaxosAccept, w.view());
+    }
+  }
+}
+
+void Coordinator::on_promise(transport::NodeId from, util::Reader& r) {
+  Ballot ballot = r.u64();
+  if (phase_ != Phase::kPreparing || ballot != ballot_) return;
+  std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Instance inst = r.u64();
+    Ballot acc_ballot = r.u64();
+    util::Buffer value = r.bytes();
+    auto& pv = promised_values_[inst];
+    if (acc_ballot >= pv.ballot) {
+      pv.ballot = acc_ballot;
+      pv.value = std::move(value);
+    }
+  }
+  promises_.insert(from);
+  if (promises_.size() < quorum()) return;
+
+  // Quorum of promises: adopt constrained values, fill gaps with no-ops,
+  // then resume normal operation.
+  phase_ = Phase::kSteady;
+  Instance max_seen = 0;
+  bool any = !promised_values_.empty() || !in_flight_.empty();
+  for (const auto& [inst, pv] : promised_values_) {
+    max_seen = std::max(max_seen, inst);
+  }
+  for (const auto& [inst, fl] : in_flight_) {
+    max_seen = std::max(max_seen, inst);
+  }
+
+  // Values carried over from our own previous round (re-proposed under the
+  // new ballot) unless a promise already constrains that instance.
+  std::map<Instance, InFlight> prior = std::move(in_flight_);
+  in_flight_.clear();
+
+  if (any) {
+    Batch noop;
+    noop.skip = true;
+    util::Buffer noop_enc = noop.encode();
+    for (Instance inst = 0; inst <= max_seen; ++inst) {
+      auto pv = promised_values_.find(inst);
+      if (pv != promised_values_.end()) {
+        propose(inst, std::move(pv->second.value));
+      } else if (auto pr = prior.find(inst); pr != prior.end()) {
+        propose(inst, std::move(pr->second.value));
+      } else {
+        propose(inst, noop_enc);
+      }
+    }
+    next_instance_ = max_seen + 1;
+  }
+  promised_values_.clear();
+  pump_proposals();
+  PSMR_DEBUG("ring " << ring_ << ": steady at ballot " << ballot_
+                     << ", next instance " << next_instance_);
+}
+
+void Coordinator::on_accepted(transport::NodeId from, util::Reader& r) {
+  Ballot ballot = r.u64();
+  Instance inst = r.u64();
+  if (ballot != ballot_) return;
+  auto it = in_flight_.find(inst);
+  if (it == in_flight_.end()) return;  // already decided
+  it->second.acks.insert(from);
+  if (it->second.acks.size() >= quorum()) {
+    decide(inst);
+  }
+}
+
+void Coordinator::decide(Instance inst) {
+  auto it = in_flight_.find(inst);
+  if (it == in_flight_.end()) return;
+  util::Writer w;
+  w.u64(inst);
+  w.bytes(it->second.value);
+  util::Buffer payload = w.take();
+  for (auto l : learners_->snapshot()) {
+    send(l, MsgType::kPaxosDecide, payload);
+  }
+  // Acceptors also learn, to serve catch-up requests.
+  for (auto a : acceptors_) {
+    send(a, MsgType::kPaxosDecide, payload);
+  }
+  if (auto batch = Batch::decode(it->second.value)) {
+    decided_batches_.fetch_add(1, std::memory_order_relaxed);
+    if (batch->skip) {
+      decided_skips_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      decided_commands_.fetch_add(batch->commands.size(),
+                                  std::memory_order_relaxed);
+    }
+  }
+  in_flight_.erase(it);
+  last_activity_ = chrono::steady_clock::now();
+  pump_proposals();
+}
+
+void Coordinator::on_nack(util::Reader& r) {
+  Ballot seen = r.u64();
+  if (seen < ballot_) return;
+  // A higher ballot exists: adopt a round above it and re-prepare.  Values
+  // still in flight are re-proposed after the new Phase 1 completes.
+  round_ = seen / 65536 + 1;
+  ballot_ = make_ballot(round_, proposer_index_);
+  begin_prepare();
+}
+
+void Coordinator::on_tick() {
+  auto now = chrono::steady_clock::now();
+
+  if (phase_ == Phase::kPreparing) {
+    if (now - prepare_sent_ > cfg_.rto) begin_prepare();
+    return;
+  }
+
+  // Seal a lingering partial batch.
+  if (!pending_.empty() && now - batch_started_ >= cfg_.batch_timeout) {
+    seal_batch();
+    pump_proposals();
+  }
+
+  // Retransmit stalled proposals (lost ACCEPT/ACCEPTED under drops).
+  for (auto& [inst, fl] : in_flight_) {
+    if (now - fl.last_send > cfg_.rto) send_accepts(inst);
+  }
+
+  // Idle ring: emit a SKIP so merge-based delivery keeps advancing.
+  if (cfg_.skip_interval.count() > 0 && in_flight_.empty() &&
+      sealed_.empty() && pending_.empty() &&
+      now - last_activity_ >= cfg_.skip_interval) {
+    Batch skip;
+    skip.skip = true;
+    propose(next_instance_++, skip.encode());
+  }
+}
+
+}  // namespace psmr::paxos

@@ -1,0 +1,134 @@
+// Paxos coordinator (proposer + batcher) for one ring.
+//
+// Responsibilities, mirroring the paper's multicast library (Section VI-A):
+//   * collects submitted commands into batches of at most 8 KB (or a short
+//     timeout) — "commands multicast to a group are batched by the group's
+//     coordinator and order is established on batches of commands";
+//   * runs multi-Paxos: one Phase 1 (prepare/promise) per ballot covering
+//     all instances, then pipelined Phase 2 (accept/accepted) per batch;
+//   * emits SKIP no-op batches when idle so that deterministic merge across
+//     rings never stalls (Multi-Ring Paxos skip mechanism);
+//   * retransmits on timeout and re-prepares on NACK, so the ring stays live
+//     under message loss and competing coordinators stay safe.
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "paxos/types.h"
+#include "transport/endpoint.h"
+
+namespace psmr::paxos {
+
+/// Learner membership shared between the Ring (which registers subscribers)
+/// and coordinators (which multicast DECIDEs to the current snapshot).
+class LearnerRegistry {
+ public:
+  void add(transport::NodeId id) {
+    std::lock_guard lock(mu_);
+    ids_.push_back(id);
+  }
+  [[nodiscard]] std::vector<transport::NodeId> snapshot() const {
+    std::lock_guard lock(mu_);
+    return ids_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<transport::NodeId> ids_;
+};
+
+/// Counters exported for benches and tests.
+struct CoordinatorStats {
+  std::uint64_t decided_batches = 0;
+  std::uint64_t decided_commands = 0;
+  std::uint64_t decided_skips = 0;
+};
+
+class Coordinator : public transport::Endpoint {
+ public:
+  Coordinator(transport::Network& net, RingId ring, RingConfig cfg,
+              std::vector<transport::NodeId> acceptors,
+              std::shared_ptr<LearnerRegistry> learners,
+              std::uint32_t proposer_index, std::uint64_t start_round);
+
+  [[nodiscard]] CoordinatorStats stats() const {
+    return CoordinatorStats{decided_batches_.load(), decided_commands_.load(),
+                            decided_skips_.load()};
+  }
+
+ protected:
+  void handle(transport::Message msg) override;
+  [[nodiscard]] std::optional<std::chrono::microseconds> tick_interval()
+      const override {
+    return tick_;
+  }
+  void on_tick() override;
+
+ private:
+  enum class Phase { kPreparing, kSteady };
+
+  void begin_prepare();
+  void on_submit(util::Buffer cmd);
+  void on_promise(transport::NodeId from, util::Reader& r);
+  void on_accepted(transport::NodeId from, util::Reader& r);
+  void on_nack(util::Reader& r);
+
+  void seal_batch();
+  void pump_proposals();
+  void propose(Instance inst, util::Buffer value);
+  void send_accepts(Instance inst);
+  void decide(Instance inst);
+
+  [[nodiscard]] std::size_t quorum() const {
+    return acceptors_.size() / 2 + 1;
+  }
+
+  const RingId ring_;
+  const RingConfig cfg_;
+  const std::vector<transport::NodeId> acceptors_;
+  const std::shared_ptr<LearnerRegistry> learners_;
+  const std::uint32_t proposer_index_;
+  const std::chrono::microseconds tick_;
+
+  Phase phase_ = Phase::kPreparing;
+  std::uint64_t round_;
+  Ballot ballot_;
+  Instance next_instance_ = 0;
+
+  // Phase 1 bookkeeping.
+  std::set<transport::NodeId> promises_;
+  struct PromisedValue {
+    Ballot ballot = 0;
+    util::Buffer value;
+  };
+  std::map<Instance, PromisedValue> promised_values_;
+  std::chrono::steady_clock::time_point prepare_sent_{};
+
+  // Batching.
+  std::vector<util::Buffer> pending_;
+  std::size_t pending_bytes_ = 0;
+  std::chrono::steady_clock::time_point batch_started_{};
+  std::deque<util::Buffer> sealed_;
+
+  // Phase 2 pipeline.
+  struct InFlight {
+    util::Buffer value;
+    std::set<transport::NodeId> acks;
+    std::chrono::steady_clock::time_point last_send;
+  };
+  std::map<Instance, InFlight> in_flight_;
+
+  std::chrono::steady_clock::time_point last_activity_{};
+
+  std::atomic<std::uint64_t> decided_batches_{0};
+  std::atomic<std::uint64_t> decided_commands_{0};
+  std::atomic<std::uint64_t> decided_skips_{0};
+};
+
+}  // namespace psmr::paxos

@@ -1,0 +1,126 @@
+#include "paxos/learner.h"
+
+#include "util/log.h"
+
+namespace psmr::paxos {
+
+using transport::MsgType;
+namespace chrono = std::chrono;
+
+LearnerLog::LearnerLog(transport::Network& net, RingId ring,
+                       std::vector<transport::NodeId> acceptors)
+    : net_(net),
+      ring_(ring),
+      acceptors_(std::move(acceptors)),
+      rng_(0xa11ce + ring) {
+  auto [id, box] = net.register_node();
+  id_ = id;
+  mailbox_ = std::move(box);
+  last_progress_ = chrono::steady_clock::now();
+}
+
+std::optional<Decision> LearnerLog::next() {
+  while (true) {
+    if (closed_.load(std::memory_order_relaxed)) return std::nullopt;
+    if (auto d = take_ready()) return d;
+    auto msg = mailbox_->pop_for(catchup_after_);
+    if (msg) {
+      ingest(std::move(*msg));
+      continue;
+    }
+    if (mailbox_->closed() && mailbox_->empty()) return std::nullopt;
+    // No traffic for a while: we may be stuck behind a gap (dropped DECIDE)
+    // or have subscribed after instances were decided.  Ask an acceptor;
+    // the reply is empty if nothing is missing.
+    request_catchup();
+  }
+}
+
+std::optional<Decision> LearnerLog::next_for(chrono::microseconds timeout) {
+  auto deadline = chrono::steady_clock::now() + timeout;
+  while (true) {
+    if (closed_.load(std::memory_order_relaxed)) return std::nullopt;
+    if (auto d = take_ready()) return d;
+    auto now = chrono::steady_clock::now();
+    if (now >= deadline) return std::nullopt;
+    auto wait = std::min(chrono::duration_cast<chrono::microseconds>(
+                             deadline - now),
+                         catchup_after_);
+    auto msg = mailbox_->pop_for(wait);
+    if (msg) {
+      ingest(std::move(*msg));
+    } else if (mailbox_->closed() && mailbox_->empty()) {
+      return std::nullopt;
+    } else if (chrono::steady_clock::now() - last_progress_ >
+               catchup_after_) {
+      request_catchup();
+      last_progress_ = chrono::steady_clock::now();  // pace the requests
+    }
+  }
+}
+
+std::optional<Decision> LearnerLog::try_next() {
+  if (closed_.load(std::memory_order_relaxed)) return std::nullopt;
+  while (auto msg = mailbox_->try_pop()) ingest(std::move(*msg));
+  return take_ready();
+}
+
+std::optional<Decision> LearnerLog::take_ready() {
+  auto it = buffer_.find(next_);
+  if (it == buffer_.end()) return std::nullopt;
+  Decision d;
+  d.instance = next_;
+  d.batch = std::move(it->second);
+  buffer_.erase(it);
+  ++next_;
+  last_progress_ = chrono::steady_clock::now();
+  return d;
+}
+
+void LearnerLog::ingest(transport::Message&& msg) {
+  try {
+    util::Reader r(msg.payload);
+    if (msg.type == MsgType::kPaxosDecide) {
+      Instance inst = r.u64();
+      auto value = r.bytes_view();
+      if (inst < next_ || buffer_.contains(inst)) return;  // duplicate
+      auto batch = Batch::decode(value);
+      if (!batch) {
+        PSMR_ERROR("learner ring " << ring_ << ": corrupt batch at instance "
+                                   << inst << ", awaiting catch-up");
+        return;
+      }
+      buffer_.emplace(inst, std::move(*batch));
+    } else if (msg.type == MsgType::kPaxosCatchupRep) {
+      std::uint32_t n = r.u32();
+      for (std::uint32_t i = 0; i < n; ++i) {
+        Instance inst = r.u64();
+        auto value = r.bytes_view();
+        if (inst < next_ || buffer_.contains(inst)) continue;
+        if (auto batch = Batch::decode(value)) {
+          buffer_.emplace(inst, std::move(*batch));
+        }
+      }
+    } else {
+      PSMR_WARN("learner ring " << ring_ << ": unexpected msg type "
+                                << msg.type);
+    }
+  } catch (const util::DecodeError& e) {
+    PSMR_ERROR("learner ring " << ring_ << ": malformed message: "
+                               << e.what());
+  }
+}
+
+void LearnerLog::request_catchup() {
+  if (acceptors_.empty()) return;
+  Instance hi = buffer_.empty() ? next_ + 64 : buffer_.rbegin()->first;
+  util::Writer w;
+  w.u64(next_);
+  w.u64(hi);
+  auto target = acceptors_[rng_.next_below(acceptors_.size())];
+  net_.send(id_, target, MsgType::kPaxosCatchupReq, w.take());
+  PSMR_DEBUG("learner ring " << ring_ << ": catch-up [" << next_ << ", " << hi
+                             << "] from node " << target);
+}
+
+}  // namespace psmr::paxos

@@ -1,0 +1,80 @@
+// Gap-free ordered delivery of one ring's decided sequence.
+//
+// A LearnerLog owns a registered mailbox on the network, buffers DECIDE
+// messages that arrive out of order (pipelined deciding, retransmissions,
+// failover re-decides), deduplicates by instance, and hands out Decisions
+// strictly in instance order.  If a gap persists — a DECIDE was dropped or
+// this learner subscribed late — it fetches the missing instances from an
+// acceptor (catch-up protocol).
+//
+// Worker threads in P-SMR call next() directly: delivery happens *inside*
+// the worker with no central dispatcher, which is the core architectural
+// claim of the paper (parallel delivery, Table I).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <optional>
+
+#include "paxos/types.h"
+#include "transport/network.h"
+#include "util/rng.h"
+
+namespace psmr::paxos {
+
+class LearnerLog {
+ public:
+  /// Registers a learner mailbox; the caller must also register the id with
+  /// the ring so the coordinator multicasts DECIDEs here (Ring::subscribe
+  /// does both).
+  LearnerLog(transport::Network& net, RingId ring,
+             std::vector<transport::NodeId> acceptors);
+
+  LearnerLog(const LearnerLog&) = delete;
+  LearnerLog& operator=(const LearnerLog&) = delete;
+
+  [[nodiscard]] transport::NodeId id() const { return id_; }
+  [[nodiscard]] RingId ring() const { return ring_; }
+
+  /// Blocks until the next in-order decision is available.  Returns
+  /// std::nullopt only when the network shuts down.
+  std::optional<Decision> next();
+
+  /// Bounded wait; std::nullopt on timeout or shutdown.
+  std::optional<Decision> next_for(std::chrono::microseconds timeout);
+
+  /// Non-blocking variant.
+  std::optional<Decision> try_next();
+
+  /// Instance the next() call will return (number of decisions delivered).
+  [[nodiscard]] Instance next_instance() const { return next_; }
+
+  /// Stops delivery immediately: pending and future next() calls return
+  /// std::nullopt even if decided batches are still buffered.  Used at
+  /// replica shutdown so worker threads quiesce at a well-defined point.
+  void close() {
+    closed_.store(true);
+    mailbox_->close();
+  }
+
+ private:
+  void ingest(transport::Message&& msg);
+  std::optional<Decision> take_ready();
+  void request_catchup();
+
+  transport::Network& net_;
+  const RingId ring_;
+  const std::vector<transport::NodeId> acceptors_;
+  transport::NodeId id_ = transport::kNoNode;
+  std::shared_ptr<transport::Mailbox> mailbox_;
+
+  std::map<Instance, Batch> buffer_;
+  std::atomic<bool> closed_{false};
+  Instance next_ = 0;
+  util::SplitMix64 rng_;
+  std::chrono::steady_clock::time_point last_progress_;
+  std::chrono::microseconds catchup_after_{20000};  // 20 ms of no progress
+};
+
+}  // namespace psmr::paxos

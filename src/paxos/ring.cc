@@ -1,0 +1,69 @@
+#include "paxos/ring.h"
+
+#include "util/log.h"
+
+namespace psmr::paxos {
+
+Ring::Ring(transport::Network& net, RingId id, RingConfig cfg)
+    : net_(net),
+      id_(id),
+      cfg_(std::move(cfg)),
+      learners_(std::make_shared<LearnerRegistry>()) {
+  for (std::size_t i = 0; i < cfg_.num_acceptors; ++i) {
+    acceptors_.push_back(std::make_unique<Acceptor>(net_, id_));
+    acceptor_ids_.push_back(acceptors_.back()->id());
+  }
+  coordinators_.push_back(std::make_unique<Coordinator>(
+      net_, id_, cfg_, acceptor_ids_, learners_, /*proposer_index=*/0,
+      /*start_round=*/0));
+  current_coordinator_ = coordinators_.back()->id();
+}
+
+Ring::~Ring() { stop(); }
+
+void Ring::start() {
+  std::lock_guard lock(mu_);
+  if (started_) return;
+  started_ = true;
+  for (auto& a : acceptors_) a->start();
+  for (auto& c : coordinators_) c->start();
+}
+
+void Ring::stop() {
+  std::lock_guard lock(mu_);
+  for (auto& c : coordinators_) c->stop();
+  for (auto& a : acceptors_) a->stop();
+}
+
+std::unique_ptr<LearnerLog> Ring::subscribe() {
+  auto log = std::make_unique<LearnerLog>(net_, id_, acceptor_ids_);
+  learners_->add(log->id());
+  return log;
+}
+
+bool Ring::submit(transport::NodeId from, util::Buffer command) {
+  return net_.send(from, coordinator(), transport::MsgType::kPaxosSubmit,
+                   std::move(command));
+}
+
+transport::NodeId Ring::fail_coordinator() {
+  std::lock_guard lock(mu_);
+  transport::NodeId old = current_coordinator_.load();
+  net_.disconnect(old);
+  auto replacement = std::make_unique<Coordinator>(
+      net_, id_, cfg_, acceptor_ids_, learners_,
+      static_cast<std::uint32_t>(coordinators_.size()), next_round_++);
+  if (started_) replacement->start();
+  current_coordinator_ = replacement->id();
+  PSMR_INFO("ring " << id_ << ": coordinator failover " << old << " -> "
+                    << replacement->id());
+  coordinators_.push_back(std::move(replacement));
+  return current_coordinator_.load();
+}
+
+CoordinatorStats Ring::stats() const {
+  std::lock_guard lock(mu_);
+  return coordinators_.back()->stats();
+}
+
+}  // namespace psmr::paxos

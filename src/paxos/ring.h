@@ -1,0 +1,76 @@
+// Ring: one totally ordered stream of command batches (one multicast group).
+//
+// Wires together a coordinator, `num_acceptors` acceptors and any number of
+// learner subscriptions on a shared Network.  Also provides the failover
+// hook used by tests: fail_coordinator() crashes the current coordinator
+// (network disconnect) and promotes a fresh one with a higher ballot, which
+// re-runs Phase 1, re-proposes constrained values and resumes.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "paxos/acceptor.h"
+#include "paxos/coordinator.h"
+#include "paxos/learner.h"
+
+namespace psmr::paxos {
+
+class Ring {
+ public:
+  Ring(transport::Network& net, RingId id, RingConfig cfg);
+  ~Ring();
+
+  Ring(const Ring&) = delete;
+  Ring& operator=(const Ring&) = delete;
+
+  /// Starts acceptor and coordinator threads.
+  void start();
+  /// Stops all endpoints (also runs on destruction).
+  void stop();
+
+  [[nodiscard]] RingId id() const { return id_; }
+  [[nodiscard]] const RingConfig& config() const { return cfg_; }
+
+  /// Node id of the current coordinator (changes on failover).
+  [[nodiscard]] transport::NodeId coordinator() const {
+    return current_coordinator_.load();
+  }
+
+  /// Creates a learner subscription: the returned log receives every batch
+  /// decided by this ring, in instance order.
+  std::unique_ptr<LearnerLog> subscribe();
+
+  /// Submits one opaque command from node `from` to the current coordinator.
+  bool submit(transport::NodeId from, util::Buffer command);
+
+  /// Crash-simulates the current coordinator and promotes a standby with a
+  /// strictly higher ballot.  Returns the new coordinator's node id.
+  transport::NodeId fail_coordinator();
+
+  /// Aggregate stats from the current coordinator.
+  [[nodiscard]] CoordinatorStats stats() const;
+
+  [[nodiscard]] const std::vector<transport::NodeId>& acceptor_ids() const {
+    return acceptor_ids_;
+  }
+
+ private:
+  transport::Network& net_;
+  const RingId id_;
+  const RingConfig cfg_;
+
+  std::vector<std::unique_ptr<Acceptor>> acceptors_;
+  std::vector<transport::NodeId> acceptor_ids_;
+  std::shared_ptr<LearnerRegistry> learners_;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Coordinator>> coordinators_;
+  std::atomic<transport::NodeId> current_coordinator_{transport::kNoNode};
+  std::uint64_t next_round_ = 1;
+  bool started_ = false;
+};
+
+}  // namespace psmr::paxos

@@ -1,0 +1,97 @@
+// Shared types and wire formats for the per-group Paxos sequence ("ring").
+//
+// The paper's multicast library composes "multiple parallel instances of
+// Paxos; each multicast group is mapped to one or more Paxos instances"
+// (Section VI-A), with commands batched by the group's coordinator up to
+// 8 KB and order established on batches.  A Ring here is one such sequence:
+// a coordinator, a set of acceptors (3 by default, tolerating f=1), and any
+// number of learners receiving the decided batch stream.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/hash.h"
+
+namespace psmr::paxos {
+
+/// Paxos ballot number.  Encoded as round * 2^16 + proposer index so that
+/// concurrent proposers never collide.
+using Ballot = std::uint64_t;
+
+/// Position in the ring's decided sequence (consensus instance).
+using Instance = std::uint64_t;
+
+/// Identifies a ring (the multicast layer maps group ids onto ring ids 1:1).
+using RingId = std::uint32_t;
+
+constexpr Ballot make_ballot(std::uint64_t round, std::uint32_t proposer) {
+  return round * 65536 + proposer;
+}
+
+/// What a decided instance carries: either a batch of opaque commands or a
+/// SKIP no-op emitted by an idle coordinator so deterministic merges make
+/// progress (Multi-Ring Paxos's skip mechanism, paper ref [9]).
+struct Batch {
+  bool skip = false;
+  std::vector<util::Buffer> commands;
+
+  [[nodiscard]] util::Buffer encode() const {
+    util::Writer w;
+    w.u8(skip ? 1 : 0);
+    w.u32(static_cast<std::uint32_t>(commands.size()));
+    for (const auto& c : commands) w.bytes(c);
+    w.u32(util::Crc32::of(w.view()));
+    return w.take();
+  }
+
+  static std::optional<Batch> decode(std::span<const std::uint8_t> data) {
+    if (data.size() < 4) return std::nullopt;
+    auto body = data.first(data.size() - 4);
+    util::Reader crc_r(data.subspan(data.size() - 4));
+    if (crc_r.u32() != util::Crc32::of(body)) return std::nullopt;
+    try {
+      util::Reader r(body);
+      Batch b;
+      b.skip = r.u8() != 0;
+      std::uint32_t n = r.u32();
+      b.commands.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) b.commands.push_back(r.bytes());
+      return b;
+    } catch (const util::DecodeError&) {
+      return std::nullopt;
+    }
+  }
+};
+
+/// A decided instance as surfaced to learners, in instance order.
+struct Decision {
+  Instance instance = 0;
+  Batch batch;
+};
+
+/// Tuning knobs for one ring.
+struct RingConfig {
+  /// Number of acceptors; quorum is a majority.  3 tolerates one failure,
+  /// matching the paper's configuration (Section VI-A).
+  std::size_t num_acceptors = 3;
+  /// Maximum batch payload before the coordinator seals it (paper: 8 KB).
+  std::size_t max_batch_bytes = 8192;
+  /// Maximum commands per batch regardless of size.
+  std::size_t max_batch_commands = 256;
+  /// How long the coordinator waits for more commands before sealing a
+  /// non-empty batch.
+  std::chrono::microseconds batch_timeout{200};
+  /// If nonzero, an idle coordinator decides SKIP batches at this period so
+  /// merged delivery never stalls.  Zero disables skips (single-ring users).
+  std::chrono::microseconds skip_interval{0};
+  /// Max undecided instances in flight (pipelining).
+  std::size_t pipeline_window = 64;
+  /// Retransmission timeout for PREPARE/ACCEPT under message loss.
+  std::chrono::microseconds rto{5000};
+};
+
+}  // namespace psmr::paxos

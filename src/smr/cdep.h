@@ -1,0 +1,95 @@
+// Command dependencies (C-Dep) — paper Section IV-C, "Defining command
+// dependencies".
+//
+// The prototype encoding has exactly two levels, which we reproduce:
+//   * ALWAYS pairs: commands that depend on each other regardless of
+//     parameters (e.g., B+-tree insert/delete depend on everything);
+//   * SAME-KEY pairs: commands that depend on each other only when their
+//     key parameter matches (e.g., two updates on the same object).
+// "If no entry exists in C-Dep asserting the dependency of two commands,
+// they are independent."
+//
+// C-Dep is supplied by the service designer together with the service code;
+// it drives (a) the derivation of C-G functions (cg.h), (b) the sP-SMR
+// scheduler's conflict decisions, and (c) the linearizability checker used
+// in tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "smr/command.h"
+
+namespace psmr::smr {
+
+/// Extracts the conflict key of a command (std::nullopt when the command has
+/// no key, e.g. a whole-structure operation).  Service-defined.
+using KeyFn = std::function<std::optional<std::uint64_t>(const Command&)>;
+
+class CDep {
+ public:
+  /// Declares that `a` and `b` always depend on each other (symmetric).
+  CDep& always(CommandId a, CommandId b) {
+    always_.insert(pack(a, b));
+    always_.insert(pack(b, a));
+    return *this;
+  }
+
+  /// Declares dependency only when both commands carry the same key.
+  CDep& same_key(CommandId a, CommandId b) {
+    same_key_.insert(pack(a, b));
+    same_key_.insert(pack(b, a));
+    return *this;
+  }
+
+  [[nodiscard]] bool always_conflicts(CommandId a, CommandId b) const {
+    return always_.contains(pack(a, b));
+  }
+  [[nodiscard]] bool same_key_conflicts(CommandId a, CommandId b) const {
+    return same_key_.contains(pack(a, b));
+  }
+
+  /// Full conflict relation between two concrete invocations.
+  [[nodiscard]] bool conflicts(const Command& x, const Command& y,
+                               const KeyFn& key_of) const {
+    if (always_conflicts(x.cmd, y.cmd)) return true;
+    if (!same_key_conflicts(x.cmd, y.cmd)) return false;
+    auto kx = key_of(x);
+    auto ky = key_of(y);
+    return kx.has_value() && ky.has_value() && *kx == *ky;
+  }
+
+  /// True if `c` has at least one ALWAYS dependency (on itself or others).
+  [[nodiscard]] bool has_always_edge(CommandId c) const {
+    for (auto packed : always_) {
+      if (static_cast<CommandId>(packed >> 16) == c) return true;
+    }
+    return false;
+  }
+
+  /// Canonical (a <= b) enumeration of the ALWAYS dependency graph's edges.
+  [[nodiscard]] std::vector<std::pair<CommandId, CommandId>> always_pairs()
+      const {
+    std::vector<std::pair<CommandId, CommandId>> out;
+    for (auto packed : always_) {
+      auto a = static_cast<CommandId>(packed >> 16);
+      auto b = static_cast<CommandId>(packed & 0xffff);
+      if (a <= b) out.emplace_back(a, b);
+    }
+    return out;
+  }
+
+ private:
+  static constexpr std::uint32_t pack(CommandId a, CommandId b) {
+    return (static_cast<std::uint32_t>(a) << 16) | b;
+  }
+
+  std::unordered_set<std::uint32_t> always_;
+  std::unordered_set<std::uint32_t> same_key_;
+};
+
+}  // namespace psmr::smr

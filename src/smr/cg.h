@@ -1,0 +1,179 @@
+// Command-to-Groups (C-G) functions — paper Section IV-C, "Mapping commands
+// to destinations".
+//
+// A C-G function maps a command id and its input parameters to the set of
+// multicast groups the request must be sent to.  It is derived from C-Dep
+// and the multiprogramming level k so that independent commands land in
+// different groups (concurrency) while any two dependent commands share at
+// least one group (synchronization).
+//
+// The paper presents two concrete C-G constructions, both implemented here:
+//   * CoarseCg — from a C-Dep that only distinguishes reads from writes:
+//     reads go to one (pseudo-random) group, writes to ALL groups;
+//   * KeyedCg — from a per-object C-Dep: commands on object x go to group
+//     (x mod k), structure-changing commands to ALL groups.
+// Both derive mechanically from a C-Dep via from_cdep().
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+#include <unordered_map>
+#include <vector>
+
+#include "multicast/group.h"
+#include "smr/cdep.h"
+#include "smr/command.h"
+#include "util/hash.h"
+
+namespace psmr::smr {
+
+/// Maps a concrete invocation to its destination groups.  Implementations
+/// must be deterministic per command instance (same Command → same groups),
+/// so retries reach the same destinations; pure functions of
+/// (cmd, params, client, seq).
+class CGFunction {
+ public:
+  virtual ~CGFunction() = default;
+  [[nodiscard]] virtual multicast::GroupSet groups(const Command& c) const = 0;
+  /// The multiprogramming level this function was computed for.  Client and
+  /// server proxies must agree on it (paper Section IV-D, Transparency).
+  [[nodiscard]] virtual std::size_t mpl() const = 0;
+};
+
+/// Pseudo-random but per-command-deterministic group pick, standing in for
+/// the paper's `random(1..k)` read placement.
+inline multicast::GroupId spread_group(const Command& c, std::size_t k) {
+  return static_cast<multicast::GroupId>(
+      util::mix64(c.client * 0x9e3779b97f4a7c15ULL + c.seq) % k);
+}
+
+/// The paper's first example: commands in `scattered` (reads) go to one
+/// pseudo-random group; every other command goes to ALL groups.
+class CoarseCg : public CGFunction {
+ public:
+  CoarseCg(std::size_t k, std::unordered_set<CommandId> scattered)
+      : k_(k), scattered_(std::move(scattered)) {}
+
+  [[nodiscard]] multicast::GroupSet groups(const Command& c) const override {
+    if (scattered_.contains(c.cmd)) {
+      return multicast::GroupSet::single(spread_group(c, k_));
+    }
+    return multicast::GroupSet::all(k_);
+  }
+  [[nodiscard]] std::size_t mpl() const override { return k_; }
+
+ private:
+  std::size_t k_;
+  std::unordered_set<CommandId> scattered_;
+};
+
+/// The paper's second example: keyed commands go to group (key mod k);
+/// globally dependent commands go to ALL groups; keyless non-global
+/// commands are spread pseudo-randomly (read-only helpers).
+class KeyedCg : public CGFunction {
+ public:
+  KeyedCg(std::size_t k, KeyFn key_of, std::unordered_set<CommandId> global)
+      : k_(k), key_of_(std::move(key_of)), global_(std::move(global)) {}
+
+  [[nodiscard]] multicast::GroupSet groups(const Command& c) const override {
+    if (global_.contains(c.cmd)) return multicast::GroupSet::all(k_);
+    if (auto key = key_of_(c)) {
+      return multicast::GroupSet::single(
+          static_cast<multicast::GroupId>(util::mix64(*key) % k_));
+    }
+    return multicast::GroupSet::single(spread_group(c, k_));
+  }
+  [[nodiscard]] std::size_t mpl() const override { return k_; }
+
+ private:
+  std::size_t k_;
+  KeyFn key_of_;
+  std::unordered_set<CommandId> global_;
+};
+
+/// Load-aware refinement of KeyedCg — paper Section IV-D: "If heavily
+/// accessed objects are known in advance, this information can be used when
+/// computing the C-G function so that such objects are assigned to distinct
+/// groups."  Keys listed in `hot` are spread round-robin across groups
+/// (hot[i] → group i mod k); all other keys hash as in KeyedCg.  Dependent
+/// commands still share groups: same key → same group, global commands →
+/// all groups.
+class HotAwareCg : public CGFunction {
+ public:
+  HotAwareCg(std::size_t k, KeyFn key_of,
+             std::unordered_set<CommandId> global,
+             const std::vector<std::uint64_t>& hot)
+      : k_(k), inner_(k, key_of, std::move(global)), key_of_(std::move(key_of)) {
+    for (std::size_t i = 0; i < hot.size(); ++i) {
+      hot_groups_.emplace(hot[i],
+                          static_cast<multicast::GroupId>(i % k));
+    }
+  }
+
+  [[nodiscard]] multicast::GroupSet groups(const Command& c) const override {
+    if (auto key = key_of_(c)) {
+      auto it = hot_groups_.find(*key);
+      if (it != hot_groups_.end()) {
+        // Hot key with a pinned group — but only for keyed commands;
+        // global ones keep going everywhere (delegate decides).
+        auto base = inner_.groups(c);
+        if (base.singleton()) return multicast::GroupSet::single(it->second);
+        return base;
+      }
+    }
+    return inner_.groups(c);
+  }
+  [[nodiscard]] std::size_t mpl() const override { return k_; }
+
+ private:
+  std::size_t k_;
+  KeyedCg inner_;
+  KeyFn key_of_;
+  std::unordered_map<std::uint64_t, multicast::GroupId> hot_groups_;
+};
+
+/// Derives a KeyedCg mechanically from a C-Dep — the "optimization problem"
+/// of Section IV-C solved with a standard heuristic.
+///
+/// An ALWAYS dependency (c, d) must hold for every pair of invocations, so
+/// at least one endpoint must be multicast to all groups; the set of global
+/// commands is therefore a vertex cover of the ALWAYS graph, and keeping it
+/// small maximizes concurrency.  We take (a) every command with a self-edge
+/// (it must cover itself), then (b) greedily cover the remaining edges by
+/// highest degree.  SAME-KEY dependencies are satisfied by key partitioning
+/// (equal keys → equal group).  For the paper's services this reproduces
+/// exactly their assignment (insert/delete global, read/update keyed).
+inline std::unique_ptr<CGFunction> from_cdep(const CDep& cdep, std::size_t k,
+                                             KeyFn key_of,
+                                             CommandId max_command_id) {
+  auto edges = cdep.always_pairs();
+  std::unordered_set<CommandId> global;
+  // (a) Self-edges.
+  for (auto [a, b] : edges) {
+    if (a == b) global.insert(a);
+  }
+  auto covered = [&](std::pair<CommandId, CommandId> e) {
+    return global.contains(e.first) || global.contains(e.second);
+  };
+  // (b) Greedy vertex cover of whatever remains.
+  while (true) {
+    std::vector<std::size_t> degree(static_cast<std::size_t>(max_command_id) +
+                                    1);
+    bool any = false;
+    for (auto e : edges) {
+      if (covered(e)) continue;
+      any = true;
+      ++degree[e.first];
+      ++degree[e.second];
+    }
+    if (!any) break;
+    CommandId best = 0;
+    for (CommandId c = 0; c <= max_command_id; ++c) {
+      if (degree[c] > degree[best]) best = c;
+    }
+    global.insert(best);
+  }
+  return std::make_unique<KeyedCg>(k, std::move(key_of), std::move(global));
+}
+
+}  // namespace psmr::smr

@@ -1,0 +1,96 @@
+#include "smr/client.h"
+
+#include "util/log.h"
+
+namespace psmr::smr {
+
+ClientProxy::ClientProxy(transport::Network& net, multicast::Bus& bus,
+                         std::shared_ptr<const CGFunction> cg, ClientId id)
+    : net_(net), bus_(&bus), cg_(std::move(cg)), id_(id) {
+  auto [node, box] = net.register_node();
+  node_ = node;
+  mailbox_ = std::move(box);
+}
+
+ClientProxy::ClientProxy(transport::Network& net, transport::NodeId server,
+                         ClientId id)
+    : net_(net), server_(server), id_(id) {
+  auto [node, box] = net.register_node();
+  node_ = node;
+  mailbox_ = std::move(box);
+}
+
+bool ClientProxy::dispatch(const Command& c) {
+  if (bus_ != nullptr) {
+    return bus_->multicast(node_, c.groups, c.encode());
+  }
+  return net_.send(node_, server_, transport::MsgType::kSmrDirect, c.encode());
+}
+
+Seq ClientProxy::submit(CommandId cmd, util::Buffer params) {
+  Command c;
+  c.cmd = cmd;
+  c.client = id_;
+  c.seq = next_seq_++;
+  c.reply_to = node_;
+  c.params = std::move(params);
+  c.groups = cg_ ? cg_->groups(c) : multicast::GroupSet::single(0);
+  dispatch(c);
+  pending_.emplace(c.seq, Pending{std::move(c), util::now_us()});
+  return next_seq_ - 1;
+}
+
+std::optional<ClientProxy::Completion> ClientProxy::poll(
+    std::chrono::microseconds timeout) {
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return std::nullopt;
+    auto msg = mailbox_->pop_for(
+        std::chrono::duration_cast<std::chrono::microseconds>(deadline - now));
+    if (!msg) {
+      if (mailbox_->closed()) return std::nullopt;
+      continue;
+    }
+    auto resp = Response::decode(msg->payload);
+    if (!resp) {
+      PSMR_WARN("client " << id_ << ": malformed response");
+      continue;
+    }
+    auto it = pending_.find(resp->seq);
+    if (it == pending_.end()) continue;  // duplicate from another replica
+    Completion done;
+    done.seq = resp->seq;
+    done.payload = std::move(resp->payload);
+    done.latency_us = util::now_us() - it->second.submitted_us;
+    pending_.erase(it);
+    return done;
+  }
+}
+
+std::optional<util::Buffer> ClientProxy::call(
+    CommandId cmd, util::Buffer params, std::chrono::microseconds timeout,
+    std::chrono::microseconds retry_every) {
+  Seq seq = submit(cmd, std::move(params));
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+  auto next_retry = std::chrono::steady_clock::now() + retry_every;
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto now = std::chrono::steady_clock::now();
+    auto wait = std::min(deadline, next_retry) - now;
+    auto done =
+        poll(std::chrono::duration_cast<std::chrono::microseconds>(wait));
+    if (done && done->seq == seq) return std::move(done->payload);
+    if (done) continue;  // an older call's completion; keep waiting for ours
+    if (mailbox_->closed()) return std::nullopt;
+    if (std::chrono::steady_clock::now() >= next_retry) {
+      // Retransmit (e.g., the submission raced a coordinator failover).
+      auto it = pending_.find(seq);
+      if (it != pending_.end()) dispatch(it->second.command);
+      next_retry = std::chrono::steady_clock::now() + retry_every;
+    }
+  }
+  pending_.erase(seq);
+  return std::nullopt;
+}
+
+}  // namespace psmr::smr

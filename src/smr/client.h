@@ -1,0 +1,85 @@
+// Client proxy — paper Figure 1 and Algorithm 1, lines 1–6.
+//
+// Intercepts service invocations, marshals them into requests, multicasts
+// them to the groups chosen by the C-G function, and returns the first
+// response received (all replicas produce the same output, so one suffices).
+// The application never learns that the service is replicated.
+//
+// The proxy also supports unreplicated deployments (no-rep and the
+// BDB-style lock server): there it sends the request one-to-one to its
+// assigned server node instead of multicasting.
+//
+// Two calling styles:
+//   * call()            — synchronous RPC, used by examples and tests;
+//   * submit() + poll() — windowed asynchronous pipeline, used by the
+//     closed-loop workload driver (the paper's clients keep a window of up
+//     to 50 outstanding commands, Section VI-B).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "multicast/amcast.h"
+#include "smr/cg.h"
+#include "smr/command.h"
+#include "util/clock.h"
+
+namespace psmr::smr {
+
+class ClientProxy {
+ public:
+  /// Replicated-mode proxy: requests go through the atomic multicast bus.
+  ClientProxy(transport::Network& net, multicast::Bus& bus,
+              std::shared_ptr<const CGFunction> cg, ClientId id);
+
+  /// Direct-mode proxy: requests go one-to-one to `server`.
+  ClientProxy(transport::Network& net, transport::NodeId server, ClientId id);
+
+  ClientProxy(const ClientProxy&) = delete;
+  ClientProxy& operator=(const ClientProxy&) = delete;
+
+  [[nodiscard]] ClientId id() const { return id_; }
+  [[nodiscard]] transport::NodeId node() const { return node_; }
+
+  /// Synchronous invocation.  Retries the submission every `retry_every`
+  /// until `timeout`; returns std::nullopt on timeout or shutdown.
+  std::optional<util::Buffer> call(
+      CommandId cmd, util::Buffer params,
+      std::chrono::microseconds timeout = std::chrono::seconds(10),
+      std::chrono::microseconds retry_every = std::chrono::seconds(2));
+
+  /// Asynchronous submission; the returned seq identifies the completion.
+  Seq submit(CommandId cmd, util::Buffer params);
+
+  struct Completion {
+    Seq seq = 0;
+    util::Buffer payload;
+    std::int64_t latency_us = 0;
+  };
+
+  /// Waits up to `timeout` for any outstanding command to complete.
+  /// Duplicate responses (from the other replicas) are absorbed silently.
+  std::optional<Completion> poll(std::chrono::microseconds timeout);
+
+  [[nodiscard]] std::size_t outstanding() const { return pending_.size(); }
+
+ private:
+  bool dispatch(const Command& c);
+
+  transport::Network& net_;
+  multicast::Bus* bus_ = nullptr;  // null in direct mode
+  transport::NodeId server_ = transport::kNoNode;
+  std::shared_ptr<const CGFunction> cg_;
+  ClientId id_;
+  transport::NodeId node_ = transport::kNoNode;
+  std::shared_ptr<transport::Mailbox> mailbox_;
+  Seq next_seq_ = 1;
+
+  struct Pending {
+    Command command;
+    std::int64_t submitted_us;
+  };
+  std::unordered_map<Seq, Pending> pending_;
+};
+
+}  // namespace psmr::smr

@@ -1,0 +1,101 @@
+// Command and response envelopes — the "requests" of the paper's commodified
+// architecture (Section III): a command identifier plus marshaled parameters,
+// assembled by the client proxy and re-assembled by server proxies.
+//
+// The envelope also carries the destination group set γ computed by the
+// client-side C-G function.  The paper's Algorithm 1 recomputes γ at the
+// server (line 9); carrying it instead is equivalent — real atomic multicast
+// APIs deliver the destination set with the message — and it keeps
+// randomized C-G functions (the paper's `random(1..k)` for reads)
+// well-defined at the replicas.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "multicast/group.h"
+#include "transport/message.h"
+#include "util/bytes.h"
+
+namespace psmr::smr {
+
+/// Service-level command identifier (one per service operation).
+using CommandId = std::uint16_t;
+/// Unique client identity (assigned by the deployment).
+using ClientId = std::uint64_t;
+/// Per-client monotonically increasing request number.
+using Seq = std::uint64_t;
+
+/// A marshaled service invocation travelling through the multicast layer.
+struct Command {
+  CommandId cmd = 0;
+  ClientId client = 0;
+  Seq seq = 0;
+  /// Node to send the response to (the client proxy's mailbox).
+  transport::NodeId reply_to = transport::kNoNode;
+  /// Destination groups chosen by the client proxy's C-G function.
+  multicast::GroupSet groups;
+  /// Marshaled input parameters (service-defined schema).
+  util::Buffer params;
+
+  [[nodiscard]] util::Buffer encode() const {
+    util::Writer w;
+    w.u16(cmd);
+    w.u64(client);
+    w.u64(seq);
+    w.u32(reply_to);
+    w.u64(groups.mask());
+    w.bytes(params);
+    return w.take();
+  }
+
+  static std::optional<Command> decode(std::span<const std::uint8_t> data) {
+    try {
+      util::Reader r(data);
+      Command c;
+      c.cmd = r.u16();
+      c.client = r.u64();
+      c.seq = r.u64();
+      c.reply_to = r.u32();
+      c.groups = multicast::GroupSet::from_mask(r.u64());
+      c.params = r.bytes();
+      if (!r.done()) return std::nullopt;
+      return c;
+    } catch (const util::DecodeError&) {
+      return std::nullopt;
+    }
+  }
+};
+
+/// A command's marshaled output, sent one-to-one back to the client proxy.
+/// Every replica that executes the command responds; the proxy returns the
+/// first response to the application (paper, Algorithm 1 line 4).
+struct Response {
+  ClientId client = 0;
+  Seq seq = 0;
+  util::Buffer payload;
+
+  [[nodiscard]] util::Buffer encode() const {
+    util::Writer w;
+    w.u64(client);
+    w.u64(seq);
+    w.bytes(payload);
+    return w.take();
+  }
+
+  static std::optional<Response> decode(std::span<const std::uint8_t> data) {
+    try {
+      util::Reader r(data);
+      Response resp;
+      resp.client = r.u64();
+      resp.seq = r.u64();
+      resp.payload = r.bytes();
+      if (!r.done()) return std::nullopt;
+      return resp;
+    } catch (const util::DecodeError&) {
+      return std::nullopt;
+    }
+  }
+};
+
+}  // namespace psmr::smr

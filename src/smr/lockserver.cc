@@ -1,0 +1,23 @@
+#include "smr/lockserver.h"
+
+namespace psmr::smr {
+
+LockServer::LockServer(transport::Network& net,
+                       std::shared_ptr<Service> service,
+                       std::size_t num_threads)
+    : service_(std::move(service)) {
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    handlers_.push_back(
+        std::make_unique<Handler>(net, *service_, executed_));
+  }
+}
+
+void LockServer::start() {
+  for (auto& h : handlers_) h->start();
+}
+
+void LockServer::stop() {
+  for (auto& h : handlers_) h->stop();
+}
+
+}  // namespace psmr::smr

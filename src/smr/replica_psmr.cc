@@ -1,0 +1,105 @@
+#include "smr/replica_psmr.h"
+
+#include "util/log.h"
+
+namespace psmr::smr {
+
+PsmrReplica::PsmrReplica(transport::Network& net, multicast::Bus& bus,
+                         std::unique_ptr<Service> service, std::size_t mpl,
+                         std::string name)
+    : net_(net),
+      mpl_(mpl),
+      name_(std::move(name)),
+      service_(std::move(service)),
+      signals_(mpl * mpl),
+      dedup_(mpl) {
+  if (bus.num_groups() != mpl_) {
+    throw std::invalid_argument(
+        "PsmrReplica: bus group count must equal the multiprogramming level");
+  }
+  for (std::size_t i = 0; i < mpl_; ++i) {
+    subs_.push_back(bus.subscribe(static_cast<multicast::GroupId>(i)));
+  }
+  auto [id, box] = net.register_node();
+  reply_node_ = id;  // send-only identity for responses
+}
+
+PsmrReplica::~PsmrReplica() { stop(); }
+
+void PsmrReplica::start() {
+  if (started_) return;
+  started_ = true;
+  for (std::size_t i = 0; i < mpl_; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+void PsmrReplica::stop() {
+  for (auto& sub : subs_) sub->close();
+  // Shutdown can catch workers at different stream positions: one may be
+  // blocked in a synchronous-mode signal wait for a peer whose stream was
+  // closed before delivering the same command.  Flush every signal cell so
+  // blocked workers wake, observe their closed stream, and exit.
+  for (std::size_t round = 0; round < mpl_ + 1; ++round) {
+    for (auto& s : signals_) s.notify();
+  }
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+void PsmrReplica::execute_and_reply(const Command& cmd, std::size_t worker) {
+  auto& last = dedup_[worker][cmd.client];
+  Response resp;
+  resp.client = cmd.client;
+  resp.seq = cmd.seq;
+  if (cmd.seq == last.seq) {
+    resp.payload = last.response;  // retransmitted command: replay response
+  } else if (cmd.seq < last.seq) {
+    return;  // stale duplicate; the client has long moved on
+  } else {
+    resp.payload = service_->execute(cmd);
+    last.seq = cmd.seq;
+    last.response = resp.payload;
+    executed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  net_.send(reply_node_, cmd.reply_to, transport::MsgType::kSmrResponse,
+            resp.encode());
+}
+
+void PsmrReplica::worker_loop(std::size_t worker) {
+  auto& sub = *subs_[worker];
+  while (auto delivery = sub.next()) {
+    auto cmd = Command::decode(delivery->message);
+    if (!cmd) {
+      PSMR_ERROR(name_ << " worker " << worker << ": malformed command");
+      continue;
+    }
+    const multicast::GroupSet groups = cmd->groups;
+    if (groups.singleton()) {
+      // Parallel mode (Algorithm 1, lines 10-13).
+      execute_and_reply(*cmd, worker);
+      continue;
+    }
+    if (!groups.contains(static_cast<multicast::GroupId>(worker))) {
+      continue;  // delivered via g_all but not a destination
+    }
+    // Synchronous mode (lines 14-26).
+    const std::size_t executor = groups.min();
+    if (worker == executor) {
+      groups.for_each([&](multicast::GroupId j) {
+        if (j != executor && j < mpl_) signal(j, executor).wait();
+      });
+      execute_and_reply(*cmd, worker);
+      groups.for_each([&](multicast::GroupId j) {
+        if (j != executor && j < mpl_) signal(executor, j).notify();
+      });
+    } else {
+      signal(worker, executor).notify();
+      signal(executor, worker).wait();
+    }
+  }
+}
+
+}  // namespace psmr::smr

@@ -1,0 +1,83 @@
+// P-SMR replica — the paper's Algorithm 1, server side (lines 7–26).
+//
+// k worker threads; thread t_i subscribes to groups {g_i, g_all} through a
+// deterministic MergeDeliverer, so delivery itself is parallel (one stream
+// per thread, no central dispatcher — the defining property of P-SMR,
+// Table I).
+//
+// Execution modes per delivered command C with destination set γ:
+//   * parallel mode (γ singleton): t_i executes C and replies immediately;
+//   * synchronous mode (|γ| > 1): the destination threads synchronize with
+//     signals; t_e with e = min(γ) waits for a signal from every other
+//     destination thread, executes C, replies, then signals them to resume.
+// Threads that deliver C via g_all but are not in γ ignore it (the general
+// form of the algorithm allows γ to be any subset; our transport routes all
+// multi-group messages through g_all).
+//
+// Signals are per-(sender, receiver) counting semaphores, exactly the
+// "signal from t_j" of the paper, so a fast thread's signal for the *next*
+// synchronous command cannot be miscounted for the current one.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "multicast/amcast.h"
+#include "smr/service.h"
+#include "util/sync.h"
+
+namespace psmr::smr {
+
+class PsmrReplica {
+ public:
+  /// `mpl` worker threads; must equal the C-G function's mpl().
+  PsmrReplica(transport::Network& net, multicast::Bus& bus,
+              std::unique_ptr<Service> service, std::size_t mpl,
+              std::string name = "psmr-replica");
+  ~PsmrReplica();
+
+  PsmrReplica(const PsmrReplica&) = delete;
+  PsmrReplica& operator=(const PsmrReplica&) = delete;
+
+  void start();
+  void stop();
+
+  /// Commands executed so far (all workers).
+  [[nodiscard]] std::uint64_t executed() const { return executed_.load(); }
+
+  /// The replica's service instance (state inspection in tests).
+  [[nodiscard]] const Service& service() const { return *service_; }
+
+ private:
+  void worker_loop(std::size_t worker);
+  void execute_and_reply(const Command& cmd, std::size_t worker);
+  util::Signal& signal(std::size_t from, std::size_t to) {
+    return signals_[from * mpl_ + to];
+  }
+
+  transport::Network& net_;
+  const std::size_t mpl_;
+  const std::string name_;
+  std::unique_ptr<Service> service_;
+  std::vector<std::unique_ptr<multicast::MergeDeliverer>> subs_;
+  std::vector<util::Signal> signals_;  // mpl x mpl matrix
+  std::vector<std::thread> workers_;
+  transport::NodeId reply_node_ = transport::kNoNode;
+
+  // Per-worker duplicate suppression: last executed seq and its response per
+  // client.  Deterministic across replicas because each worker's delivery
+  // stream is deterministic.
+  struct LastExec {
+    Seq seq = 0;
+    util::Buffer response;
+  };
+  std::vector<std::unordered_map<ClientId, LastExec>> dedup_;
+
+  std::atomic<std::uint64_t> executed_{0};
+  bool started_ = false;
+};
+
+}  // namespace psmr::smr

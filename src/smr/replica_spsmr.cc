@@ -1,0 +1,47 @@
+#include "smr/replica_spsmr.h"
+
+#include "util/log.h"
+
+namespace psmr::smr {
+
+SpsmrReplica::SpsmrReplica(transport::Network& net, multicast::Bus& bus,
+                           std::unique_ptr<Service> service,
+                           std::shared_ptr<const CGFunction> cg,
+                           std::size_t mpl, std::string name)
+    : core_(net, std::move(service), std::move(cg), mpl, name),
+      name_(std::move(name)) {
+  if (bus.num_groups() != 1) {
+    throw std::invalid_argument(
+        "SpsmrReplica: sP-SMR delivers a single stream (bus must have one "
+        "group)");
+  }
+  sub_ = bus.subscribe(0);
+}
+
+SpsmrReplica::~SpsmrReplica() { stop(); }
+
+void SpsmrReplica::start() {
+  if (started_) return;
+  started_ = true;
+  core_.start();
+  delivery_thread_ = std::thread([this] { delivery_loop(); });
+}
+
+void SpsmrReplica::stop() {
+  sub_->close();
+  if (delivery_thread_.joinable()) delivery_thread_.join();
+  core_.stop();
+}
+
+void SpsmrReplica::delivery_loop() {
+  while (auto delivery = sub_->next()) {
+    auto cmd = Command::decode(delivery->message);
+    if (!cmd) {
+      PSMR_ERROR(name_ << ": malformed command");
+      continue;
+    }
+    core_.schedule(std::move(*cmd));
+  }
+}
+
+}  // namespace psmr::smr

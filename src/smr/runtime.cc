@@ -1,0 +1,128 @@
+#include "smr/runtime.h"
+
+#include <stdexcept>
+
+namespace psmr::smr {
+
+Deployment::Deployment(DeploymentConfig cfg) : cfg_(std::move(cfg)) {
+  if (!cfg_.service_factory) {
+    throw std::invalid_argument("Deployment: service_factory is required");
+  }
+  if (!cfg_.cg_factory && cfg_.mode != Mode::kLockServer) {
+    throw std::invalid_argument("Deployment: cg_factory is required");
+  }
+  if (cfg_.mode == Mode::kSmr) cfg_.mpl = 1;
+
+  switch (cfg_.mode) {
+    case Mode::kSmr:
+    case Mode::kSpsmr: {
+      // Single totally ordered stream.
+      multicast::BusConfig bus_cfg;
+      bus_cfg.num_groups = 1;
+      bus_cfg.ring = cfg_.ring;
+      bus_ = std::make_unique<multicast::Bus>(net_, bus_cfg);
+      client_cg_ = cfg_.cg_factory(1);
+      for (std::size_t r = 0; r < cfg_.replicas; ++r) {
+        if (cfg_.mode == Mode::kSmr) {
+          psmr_.push_back(std::make_unique<PsmrReplica>(
+              net_, *bus_, cfg_.service_factory(), 1,
+              "smr-replica" + std::to_string(r)));
+        } else {
+          spsmr_.push_back(std::make_unique<SpsmrReplica>(
+              net_, *bus_, cfg_.service_factory(), cfg_.cg_factory(cfg_.mpl),
+              cfg_.mpl, "spsmr-replica" + std::to_string(r)));
+        }
+      }
+      break;
+    }
+    case Mode::kPsmr: {
+      multicast::BusConfig bus_cfg;
+      bus_cfg.num_groups = cfg_.mpl;
+      bus_cfg.ring = cfg_.ring;
+      bus_ = std::make_unique<multicast::Bus>(net_, bus_cfg);
+      client_cg_ = cfg_.cg_factory(cfg_.mpl);
+      for (std::size_t r = 0; r < cfg_.replicas; ++r) {
+        psmr_.push_back(std::make_unique<PsmrReplica>(
+            net_, *bus_, cfg_.service_factory(), cfg_.mpl,
+            "psmr-replica" + std::to_string(r)));
+      }
+      break;
+    }
+    case Mode::kNoRep: {
+      norep_ = std::make_unique<NoRepServer>(net_, cfg_.service_factory(),
+                                             cfg_.cg_factory(cfg_.mpl),
+                                             cfg_.mpl);
+      break;
+    }
+    case Mode::kLockServer: {
+      lock_service_ = cfg_.shared_service_factory
+                          ? cfg_.shared_service_factory()
+                          : std::make_shared<LockedService>(
+                                cfg_.service_factory());
+      lock_ = std::make_unique<LockServer>(net_, lock_service_, cfg_.mpl);
+      break;
+    }
+  }
+}
+
+Deployment::~Deployment() { stop(); }
+
+void Deployment::start() {
+  if (started_) return;
+  started_ = true;
+  if (bus_) bus_->start();
+  for (auto& r : psmr_) r->start();
+  for (auto& r : spsmr_) r->start();
+  if (norep_) norep_->start_all();
+  if (lock_) lock_->start();
+}
+
+void Deployment::stop() {
+  if (!started_) return;
+  started_ = false;
+  for (auto& r : psmr_) r->stop();
+  for (auto& r : spsmr_) r->stop();
+  if (norep_) norep_->stop_all();
+  if (lock_) lock_->stop();
+  if (bus_) bus_->stop();
+  net_.shutdown();
+}
+
+std::unique_ptr<ClientProxy> Deployment::make_client() {
+  ClientId id = next_client_++;
+  switch (cfg_.mode) {
+    case Mode::kSmr:
+    case Mode::kSpsmr:
+    case Mode::kPsmr:
+      return std::make_unique<ClientProxy>(net_, *bus_, client_cg_, id);
+    case Mode::kNoRep:
+      return std::make_unique<ClientProxy>(net_, norep_->id(), id);
+    case Mode::kLockServer: {
+      auto node = lock_->handler_node(next_handler_);
+      next_handler_ = (next_handler_ + 1) % lock_->num_threads();
+      return std::make_unique<ClientProxy>(net_, node, id);
+    }
+  }
+  return nullptr;
+}
+
+std::size_t Deployment::num_services() const {
+  if (norep_ || lock_) return 1;
+  return psmr_.empty() ? spsmr_.size() : psmr_.size();
+}
+
+std::uint64_t Deployment::executed(std::size_t i) const {
+  if (norep_) return norep_->executed();
+  if (lock_) return lock_->executed();
+  if (!psmr_.empty()) return psmr_.at(i)->executed();
+  return spsmr_.at(i)->executed();
+}
+
+std::uint64_t Deployment::state_digest(std::size_t i) const {
+  if (norep_) return norep_->service().state_digest();
+  if (lock_) return lock_->service().state_digest();
+  if (!psmr_.empty()) return psmr_.at(i)->service().state_digest();
+  return spsmr_.at(i)->service().state_digest();
+}
+
+}  // namespace psmr::smr

@@ -1,0 +1,91 @@
+#include "smr/scheduler.h"
+
+#include "util/log.h"
+
+namespace psmr::smr {
+
+SchedulerCore::SchedulerCore(transport::Network& net,
+                             std::unique_ptr<Service> service,
+                             std::shared_ptr<const CGFunction> cg,
+                             std::size_t num_workers, std::string name)
+    : net_(net),
+      service_(std::move(service)),
+      cg_(std::move(cg)),
+      name_(std::move(name)) {
+  if (cg_->mpl() != num_workers) {
+    throw std::invalid_argument(
+        "SchedulerCore: C-G mpl must equal the worker count");
+  }
+  for (std::size_t i = 0; i < num_workers; ++i) {
+    slots_.push_back(std::make_unique<WorkerSlot>());
+  }
+  auto [id, box] = net.register_node();
+  reply_node_ = id;
+}
+
+SchedulerCore::~SchedulerCore() { stop(); }
+
+void SchedulerCore::start() {
+  if (started_) return;
+  started_ = true;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+void SchedulerCore::stop() {
+  for (auto& slot : slots_) slot->queue.close();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+void SchedulerCore::schedule(Command cmd) {
+  auto [it, fresh] = dedup_.try_emplace(cmd.client, 0);
+  if (!fresh && cmd.seq <= it->second) return;  // duplicate submission
+  it->second = cmd.seq;
+
+  const multicast::GroupSet groups = cg_->groups(cmd);
+  if (groups.singleton()) {
+    dispatch(groups.min(), std::move(cmd));
+    return;
+  }
+  // Serialized command: let in-flight work finish, run it alone, and only
+  // then resume dispatching (the paper's drain-assign-drain behaviour).
+  drain();
+  dispatch(groups.min() < slots_.size() ? groups.min() : 0, std::move(cmd));
+  drain();
+}
+
+void SchedulerCore::dispatch(std::size_t worker, Command cmd) {
+  {
+    std::lock_guard lock(idle_mu_);
+    ++in_flight_;
+  }
+  slots_[worker]->queue.push(std::move(cmd));
+}
+
+void SchedulerCore::drain() {
+  std::unique_lock lock(idle_mu_);
+  idle_cv_.wait(lock, [&] { return in_flight_ == 0; });
+}
+
+void SchedulerCore::worker_loop(std::size_t i) {
+  auto& slot = *slots_[i];
+  while (auto cmd = slot.queue.pop()) {
+    Response resp;
+    resp.client = cmd->client;
+    resp.seq = cmd->seq;
+    resp.payload = service_->execute(*cmd);
+    executed_.fetch_add(1, std::memory_order_relaxed);
+    net_.send(reply_node_, cmd->reply_to, transport::MsgType::kSmrResponse,
+              resp.encode());
+    {
+      std::lock_guard lock(idle_mu_);
+      if (--in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace psmr::smr

@@ -1,0 +1,62 @@
+// Service abstraction: the replicated state machine.
+//
+// A Service is "state variables plus commands that change the state" (paper
+// Section III).  Execution must be deterministic: output and state changes
+// are a function of the current state and the command.  A service written
+// against this interface runs unchanged under SMR, sP-SMR and P-SMR — the
+// transparency property of Section IV-B — because all cross-command
+// synchronization is handled by the server proxies around it.
+//
+// Thread-safety contract: execute() may be called concurrently by multiple
+// worker threads ONLY for commands the service's C-Dep declares independent.
+// P-SMR's proxies guarantee dependent commands never overlap; services must
+// tolerate concurrent independent commands (e.g., operating on disjoint keys
+// without restructuring shared state).  The LockServer deployment instead
+// requires an internally synchronized service (see make_locked()).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "smr/command.h"
+
+namespace psmr::smr {
+
+class Service {
+ public:
+  virtual ~Service() = default;
+
+  /// Executes one command and returns its marshaled response.
+  virtual util::Buffer execute(const Command& cmd) = 0;
+
+  /// Order-insensitive-free digest of the full service state.  Tests use it
+  /// to assert replica convergence: replicas that executed equivalent
+  /// command histories must produce equal digests.
+  [[nodiscard]] virtual std::uint64_t state_digest() const = 0;
+};
+
+/// Wraps any Service with a single mutex, making it safe for unsynchronized
+/// concurrent callers (coarse-grained stand-in used in tests; the BDB-style
+/// LockServer uses finer-grained services like the latch-crabbing B+-tree).
+class LockedService : public Service {
+ public:
+  explicit LockedService(std::unique_ptr<Service> inner)
+      : inner_(std::move(inner)) {}
+
+  util::Buffer execute(const Command& cmd) override {
+    std::lock_guard lock(mu_);
+    return inner_->execute(cmd);
+  }
+
+  [[nodiscard]] std::uint64_t state_digest() const override {
+    std::lock_guard lock(mu_);
+    return inner_->state_digest();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unique_ptr<Service> inner_;
+};
+
+}  // namespace psmr::smr

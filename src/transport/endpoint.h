@@ -1,0 +1,102 @@
+// Threaded actor base: one thread draining one mailbox.
+//
+// Paxos coordinators and acceptors are Endpoints.  Replica worker threads
+// are NOT — they consume ordered command streams through the multicast
+// merge deliverer instead (see multicast/merge.h), which is exactly the
+// architectural point of P-SMR: delivery happens inside the worker, not in a
+// central dispatcher.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "transport/network.h"
+
+namespace psmr::transport {
+
+/// Base class for message-driven processes.  Subclasses implement
+/// handle(msg); start() spawns the drain thread; stop() closes the mailbox
+/// and joins.  Destruction stops the actor (RAII).
+class Endpoint {
+ public:
+  Endpoint(Network& net, std::string name)
+      : net_(net), name_(std::move(name)) {
+    auto [id, box] = net.register_node();
+    id_ = id;
+    mailbox_ = std::move(box);
+  }
+
+  virtual ~Endpoint() { stop(); }
+
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  /// Begins draining the mailbox on a dedicated thread.
+  void start() {
+    if (thread_.joinable()) return;
+    thread_ = std::thread([this] { run(); });
+  }
+
+  /// Closes the mailbox and joins the drain thread.  Idempotent.
+  void stop() {
+    mailbox_->close();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Network& network() const { return net_; }
+
+ protected:
+  /// Processes one message.  Runs on the endpoint's own thread only.
+  virtual void handle(Message msg) = 0;
+
+  /// If a subclass returns a duration, on_tick() fires at least that often
+  /// (between messages and under load alike).  Coordinators use this for
+  /// batch sealing, skip generation and retransmission timers.
+  [[nodiscard]] virtual std::optional<std::chrono::microseconds>
+  tick_interval() const {
+    return std::nullopt;
+  }
+  virtual void on_tick() {}
+
+  /// Sends from this endpoint.
+  bool send(NodeId to, std::uint16_t type, util::Buffer payload) {
+    return net_.send(id_, to, type, std::move(payload));
+  }
+
+ private:
+  void run() {
+    const auto interval = tick_interval();
+    if (!interval) {
+      while (auto msg = mailbox_->pop()) handle(std::move(*msg));
+      return;
+    }
+    auto next_tick = std::chrono::steady_clock::now() + *interval;
+    while (true) {
+      auto now = std::chrono::steady_clock::now();
+      if (now >= next_tick) {
+        on_tick();
+        next_tick = now + *interval;
+      }
+      auto msg = mailbox_->pop_for(next_tick - now);
+      if (msg) {
+        handle(std::move(*msg));
+      } else if (mailbox_->closed() && mailbox_->empty()) {
+        return;
+      }
+    }
+  }
+
+  Network& net_;
+  std::string name_;
+  NodeId id_ = kNoNode;
+  std::shared_ptr<Mailbox> mailbox_;
+  std::thread thread_;
+};
+
+}  // namespace psmr::transport

@@ -1,0 +1,130 @@
+#include "transport/network.h"
+
+#include "util/clock.h"
+
+namespace psmr::transport {
+
+Network::Network() : pacer_([this] { pacer_loop(); }) {}
+
+Network::~Network() {
+  shutdown();
+  {
+    std::lock_guard lock(delay_mu_);
+    shutdown_ = true;
+    delay_cv_.notify_all();
+  }
+  if (pacer_.joinable()) pacer_.join();
+}
+
+std::pair<NodeId, std::shared_ptr<Mailbox>> Network::register_node() {
+  std::lock_guard lock(mu_);
+  NodeId id = next_id_++;
+  auto mailbox = std::make_shared<Mailbox>();
+  nodes_.emplace(id, mailbox);
+  return {id, std::move(mailbox)};
+}
+
+bool Network::send(Message msg) {
+  if (shutdown_) return false;
+  {
+    std::lock_guard lock(mu_);
+    if (disconnected_.contains(msg.from) || disconnected_.contains(msg.to)) {
+      return false;
+    }
+  }
+  double drop_p = drop_probability_.load(std::memory_order_relaxed);
+  if (drop_p > 0.0) {
+    std::lock_guard lock(drop_rng_mu_);
+    if (drop_rng_.chance(drop_p)) {
+      messages_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_.fetch_add(msg.payload.size(), std::memory_order_relaxed);
+
+  std::int64_t delay = delay_us_.load(std::memory_order_relaxed);
+  if (delay <= 0) return deliver(std::move(msg));
+
+  std::lock_guard lock(delay_mu_);
+  delayed_.push(Delayed{util::now_us() + delay, delay_seq_++, std::move(msg)});
+  delay_cv_.notify_one();
+  return true;
+}
+
+bool Network::send(NodeId from, NodeId to, std::uint16_t type,
+                   util::Buffer payload) {
+  return send(Message{from, to, type, std::move(payload)});
+}
+
+bool Network::deliver(Message&& msg) {
+  std::shared_ptr<Mailbox> mailbox;
+  {
+    std::lock_guard lock(mu_);
+    auto it = nodes_.find(msg.to);
+    if (it == nodes_.end()) return false;
+    if (disconnected_.contains(msg.to)) return false;
+    mailbox = it->second;
+  }
+  return mailbox->push(std::move(msg));
+}
+
+void Network::disconnect(NodeId node) {
+  std::lock_guard lock(mu_);
+  disconnected_.insert(node);
+}
+
+void Network::reconnect(NodeId node) {
+  std::lock_guard lock(mu_);
+  disconnected_.erase(node);
+}
+
+bool Network::connected(NodeId node) const {
+  std::lock_guard lock(mu_);
+  return !disconnected_.contains(node);
+}
+
+void Network::set_drop_probability(double p) { drop_probability_ = p; }
+
+void Network::set_delay_us(std::int64_t delay_us) { delay_us_ = delay_us; }
+
+NetworkStats Network::stats() const {
+  return NetworkStats{messages_sent_.load(), messages_dropped_.load(),
+                      bytes_sent_.load()};
+}
+
+void Network::shutdown() {
+  std::vector<std::shared_ptr<Mailbox>> boxes;
+  {
+    std::lock_guard lock(mu_);
+    if (shutdown_.exchange(true)) return;
+    boxes.reserve(nodes_.size());
+    for (auto& [id, box] : nodes_) boxes.push_back(box);
+  }
+  for (auto& box : boxes) box->close();
+  delay_cv_.notify_all();
+}
+
+void Network::pacer_loop() {
+  std::unique_lock lock(delay_mu_);
+  while (!shutdown_) {
+    if (delayed_.empty()) {
+      delay_cv_.wait(lock, [&] { return shutdown_ || !delayed_.empty(); });
+      continue;
+    }
+    std::int64_t now = util::now_us();
+    const Delayed& head = delayed_.top();
+    if (head.release_at_us <= now) {
+      Message msg = std::move(const_cast<Delayed&>(head).msg);
+      delayed_.pop();
+      lock.unlock();
+      deliver(std::move(msg));
+      lock.lock();
+    } else {
+      delay_cv_.wait_for(
+          lock, std::chrono::microseconds(head.release_at_us - now));
+    }
+  }
+}
+
+}  // namespace psmr::transport

@@ -1,0 +1,30 @@
+// Wall-clock helpers for the measurement harness (real-runtime mode).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace psmr::util {
+
+/// Monotonic time in microseconds since an arbitrary epoch.
+inline std::int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Simple stopwatch for bench harness timing.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(now_us()) {}
+  void reset() { start_ = now_us(); }
+  [[nodiscard]] std::int64_t elapsed_us() const { return now_us() - start_; }
+  [[nodiscard]] double elapsed_s() const {
+    return static_cast<double>(elapsed_us()) / 1e6;
+  }
+
+ private:
+  std::int64_t start_;
+};
+
+}  // namespace psmr::util

@@ -1,0 +1,153 @@
+#include "util/compress.h"
+
+#include <array>
+#include <cstring>
+
+namespace psmr::util {
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxOffset = 65535;
+constexpr int kHashBits = 14;
+
+std::uint32_t load32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+std::uint32_t hash4(std::uint32_t v) {
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void put_length(Buffer& out, std::size_t len) {
+  // Extension bytes after a nibble value of 15.
+  while (len >= 255) {
+    out.push_back(255);
+    len -= 255;
+  }
+  out.push_back(static_cast<std::uint8_t>(len));
+}
+
+}  // namespace
+
+Buffer lz_compress(std::span<const std::uint8_t> input) {
+  Buffer out;
+  out.reserve(input.size() / 2 + 16);
+  // Header: raw size, little endian.
+  std::uint32_t raw = static_cast<std::uint32_t>(input.size());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(raw >> (8 * i)));
+  }
+  const std::uint8_t* base = input.data();
+  const std::size_t n = input.size();
+
+  std::array<std::int64_t, 1 << kHashBits> table;
+  table.fill(-1);
+
+  std::size_t pos = 0;
+  std::size_t literal_start = 0;
+
+  auto emit = [&](std::size_t match_len, std::size_t offset) {
+    std::size_t lit_len = pos - literal_start;
+    std::uint8_t token = 0;
+    token |= static_cast<std::uint8_t>((lit_len >= 15 ? 15 : lit_len) << 4);
+    if (match_len > 0) {
+      std::size_t m = match_len - kMinMatch;
+      token |= static_cast<std::uint8_t>(m >= 15 ? 15 : m);
+    }
+    out.push_back(token);
+    if (lit_len >= 15) put_length(out, lit_len - 15);
+    out.insert(out.end(), base + literal_start, base + pos);
+    if (match_len > 0) {
+      out.push_back(static_cast<std::uint8_t>(offset & 0xff));
+      out.push_back(static_cast<std::uint8_t>(offset >> 8));
+      std::size_t m = match_len - kMinMatch;
+      if (m >= 15) put_length(out, m - 15);
+    }
+  };
+
+  while (n >= kMinMatch && pos + kMinMatch <= n) {
+    std::uint32_t h = hash4(load32(base + pos));
+    std::int64_t cand = table[h];
+    table[h] = static_cast<std::int64_t>(pos);
+    if (cand >= 0 &&
+        pos - static_cast<std::size_t>(cand) <= kMaxOffset &&
+        load32(base + cand) == load32(base + pos)) {
+      // Extend the match forward.
+      std::size_t match_len = kMinMatch;
+      while (pos + match_len < n &&
+             base[cand + static_cast<std::int64_t>(match_len)] ==
+                 base[pos + match_len]) {
+        ++match_len;
+      }
+      std::size_t offset = pos - static_cast<std::size_t>(cand);
+      emit(match_len, offset);
+      // Index a couple of positions inside the match to keep ratio decent.
+      for (std::size_t i = 1; i < match_len && pos + i + kMinMatch <= n;
+           i += 2) {
+        table[hash4(load32(base + pos + i))] =
+            static_cast<std::int64_t>(pos + i);
+      }
+      pos += match_len;
+      literal_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  pos = n;
+  emit(0, 0);  // trailing literals-only sequence
+  return out;
+}
+
+std::optional<Buffer> lz_decompress(std::span<const std::uint8_t> block) {
+  if (block.size() < 4) return std::nullopt;
+  std::uint32_t raw = 0;
+  for (int i = 0; i < 4; ++i) {
+    raw |= static_cast<std::uint32_t>(block[static_cast<std::size_t>(i)])
+           << (8 * i);
+  }
+  Buffer out;
+  out.reserve(raw);
+  std::size_t pos = 4;
+  const std::size_t n = block.size();
+
+  auto read_ext = [&](std::size_t& len) -> bool {
+    while (true) {
+      if (pos >= n) return false;
+      std::uint8_t b = block[pos++];
+      len += b;
+      if (b != 255) return true;
+    }
+  };
+
+  while (out.size() < raw) {
+    if (pos >= n) return std::nullopt;
+    std::uint8_t token = block[pos++];
+    std::size_t lit_len = token >> 4;
+    if (lit_len == 15 && !read_ext(lit_len)) return std::nullopt;
+    if (pos + lit_len > n) return std::nullopt;
+    out.insert(out.end(), block.begin() + static_cast<std::ptrdiff_t>(pos),
+               block.begin() + static_cast<std::ptrdiff_t>(pos + lit_len));
+    pos += lit_len;
+    if (out.size() >= raw) break;  // final literals-only sequence
+
+    if (pos + 2 > n) return std::nullopt;
+    std::size_t offset = block[pos] | (static_cast<std::size_t>(block[pos + 1]) << 8);
+    pos += 2;
+    if (offset == 0 || offset > out.size()) return std::nullopt;
+    std::size_t match_len = (token & 0xf);
+    if (match_len == 15 && !read_ext(match_len)) return std::nullopt;
+    match_len += kMinMatch;
+    if (out.size() + match_len > raw) return std::nullopt;
+    // Byte-by-byte copy: overlapping matches (offset < length) are valid.
+    std::size_t src = out.size() - offset;
+    for (std::size_t i = 0; i < match_len; ++i) {
+      out.push_back(out[src + i]);
+    }
+  }
+  if (out.size() != raw) return std::nullopt;
+  return out;
+}
+
+}  // namespace psmr::util

@@ -1,0 +1,33 @@
+// LZ77-style block compressor standing in for lz4 in the NetFS pipeline.
+//
+// The paper's NetFS compresses every request at the client and decompresses
+// it at the executing worker thread, then compresses the response (lz4,
+// Section VI-C); compression being slower than decompression is the paper's
+// explanation for reads showing higher latency than writes in Figure 8.  This
+// codec reproduces that code path and cost asymmetry: greedy hash-chain
+// matching on compress (expensive), branchy copy loop on decompress (cheap).
+//
+// Format (LZ4-like sequences):
+//   token byte: [4 bits literal run | 4 bits match length - kMinMatch],
+//   value 15 in either nibble is extended by 255-continuation bytes;
+//   literal bytes; 2-byte little-endian match offset (if a match follows).
+// The final sequence is literals-only (match nibble 0 and no offset).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "util/bytes.h"
+
+namespace psmr::util {
+
+/// Compresses `input` into a self-contained block (4-byte raw-size header +
+/// sequence stream).  Always succeeds; incompressible data grows slightly.
+Buffer lz_compress(std::span<const std::uint8_t> input);
+
+/// Decompresses a block produced by lz_compress.
+/// Returns std::nullopt if the block is malformed or truncated.
+std::optional<Buffer> lz_decompress(std::span<const std::uint8_t> block);
+
+}  // namespace psmr::util

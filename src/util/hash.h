@@ -1,0 +1,76 @@
+// Hashing helpers: FNV-1a for byte strings (path → group partitioning in
+// NetFS, state digests), a 64-bit finalizer for integer keys (key → group in
+// the keyed C-G function), and CRC32 for multicast batch integrity.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace psmr::util {
+
+/// FNV-1a 64-bit hash of a byte span.
+constexpr std::uint64_t fnv1a(std::span<const std::uint8_t> data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// FNV-1a over a string view (used for file-system paths).
+constexpr std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Strong 64-bit integer mixer (SplitMix64 finalizer).  Used to spread
+/// adjacent keys across multicast groups.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Incrementally-usable CRC32 (IEEE polynomial, table-driven).
+class Crc32 {
+ public:
+  void update(std::span<const std::uint8_t> data) {
+    for (std::uint8_t b : data) {
+      crc_ = table()[(crc_ ^ b) & 0xff] ^ (crc_ >> 8);
+    }
+  }
+  [[nodiscard]] std::uint32_t value() const { return crc_ ^ 0xffffffffu; }
+
+  static std::uint32_t of(std::span<const std::uint8_t> data) {
+    Crc32 c;
+    c.update(data);
+    return c.value();
+  }
+
+ private:
+  static const std::array<std::uint32_t, 256>& table() {
+    static const std::array<std::uint32_t, 256> t = [] {
+      std::array<std::uint32_t, 256> out{};
+      for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k) {
+          c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        }
+        out[i] = c;
+      }
+      return out;
+    }();
+    return t;
+  }
+
+  std::uint32_t crc_ = 0xffffffffu;
+};
+
+}  // namespace psmr::util

@@ -1,0 +1,53 @@
+// Minimal leveled logger.  Protocol modules log at kDebug (off by default)
+// so tests and benches stay quiet; failover paths log at kInfo.
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace psmr::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+namespace detail {
+inline std::atomic<LogLevel>& level_flag() {
+  static std::atomic<LogLevel> level{LogLevel::kWarn};
+  return level;
+}
+inline std::mutex& log_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+}  // namespace detail
+
+/// Sets the global log threshold (messages below it are dropped).
+inline void set_log_level(LogLevel level) { detail::level_flag() = level; }
+inline LogLevel log_level() { return detail::level_flag().load(); }
+
+/// Writes one log line to stderr; thread-safe.
+inline void log_line(LogLevel level, const std::string& msg) {
+  if (level < log_level()) return;
+  static constexpr const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  std::lock_guard lock(detail::log_mutex());
+  std::fprintf(stderr, "[%s] %s\n", kNames[static_cast<int>(level)],
+               msg.c_str());
+}
+
+}  // namespace psmr::util
+
+#define PSMR_LOG(level, expr)                                             \
+  do {                                                                    \
+    if ((level) >= ::psmr::util::log_level()) {                           \
+      std::ostringstream psmr_log_oss;                                    \
+      psmr_log_oss << expr;                                               \
+      ::psmr::util::log_line((level), psmr_log_oss.str());                \
+    }                                                                     \
+  } while (0)
+
+#define PSMR_DEBUG(expr) PSMR_LOG(::psmr::util::LogLevel::kDebug, expr)
+#define PSMR_INFO(expr) PSMR_LOG(::psmr::util::LogLevel::kInfo, expr)
+#define PSMR_WARN(expr) PSMR_LOG(::psmr::util::LogLevel::kWarn, expr)
+#define PSMR_ERROR(expr) PSMR_LOG(::psmr::util::LogLevel::kError, expr)

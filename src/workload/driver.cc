@@ -1,0 +1,121 @@
+#include "workload/driver.h"
+
+#include <sys/resource.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "kvstore/kv_service.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace psmr::workload {
+
+std::int64_t process_cpu_us() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  auto tv_us = [](const timeval& tv) {
+    return static_cast<std::int64_t>(tv.tv_sec) * 1'000'000 + tv.tv_usec;
+  };
+  return tv_us(usage.ru_utime) + tv_us(usage.ru_stime);
+}
+
+namespace {
+
+// One client thread: windowed pipeline, recording completions that land in
+// the measured interval.
+void client_loop(smr::Deployment& deployment, const KvWorkloadSpec& spec,
+                 int index, std::atomic<bool>& stop,
+                 std::atomic<std::int64_t>& measure_from_us,
+                 util::Histogram& latency,
+                 std::uint64_t& completed_in_window) {
+  auto proxy = deployment.make_client();
+  util::SplitMix64 rng(spec.seed * 7919 + static_cast<std::uint64_t>(index));
+  util::Zipf zipf(spec.keys, spec.zipf_s);
+
+  auto pick_key = [&] {
+    return spec.zipf ? zipf.sample(rng) : rng.next_below(spec.keys);
+  };
+  auto submit_one = [&] {
+    int roll = static_cast<int>(rng.next_below(100));
+    std::uint64_t k = pick_key();
+    if (roll < spec.mix.read_pct) {
+      proxy->submit(kvstore::kKvRead, kvstore::encode_key(k));
+    } else if (roll < spec.mix.read_pct + spec.mix.update_pct) {
+      proxy->submit(kvstore::kKvUpdate, kvstore::encode_key_value(k, rng.next()));
+    } else if (roll <
+               spec.mix.read_pct + spec.mix.update_pct + spec.mix.insert_pct) {
+      // Inserts target a disjoint upper range so deletes can find them.
+      proxy->submit(kvstore::kKvInsert,
+                    kvstore::encode_key_value(spec.keys + rng.next_below(spec.keys),
+                                              rng.next()));
+    } else {
+      proxy->submit(kvstore::kKvDelete,
+                    kvstore::encode_key(spec.keys + rng.next_below(spec.keys)));
+    }
+  };
+
+  while (!stop.load(std::memory_order_relaxed)) {
+    while (proxy->outstanding() < static_cast<std::size_t>(spec.window) &&
+           !stop.load(std::memory_order_relaxed)) {
+      submit_one();
+    }
+    auto done = proxy->poll(std::chrono::milliseconds(100));
+    if (!done) continue;
+    std::int64_t from = measure_from_us.load(std::memory_order_relaxed);
+    if (from != 0 && util::now_us() >= from) {
+      latency.record(static_cast<double>(done->latency_us));
+      ++completed_in_window;
+    }
+  }
+  // Best-effort drain so replicas quiesce before state-digest checks.
+  while (proxy->outstanding() > 0) {
+    if (!proxy->poll(std::chrono::milliseconds(200))) break;
+  }
+}
+
+}  // namespace
+
+RunResult run_kv_workload(smr::Deployment& deployment,
+                          const KvWorkloadSpec& spec) {
+  std::atomic<bool> stop{false};
+  std::atomic<std::int64_t> measure_from_us{0};
+  std::vector<util::Histogram> latencies(
+      static_cast<std::size_t>(spec.clients));
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(spec.clients), 0);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(spec.clients));
+  for (int c = 0; c < spec.clients; ++c) {
+    threads.emplace_back([&, c] {
+      client_loop(deployment, spec, c, stop, measure_from_us,
+                  latencies[static_cast<std::size_t>(c)],
+                  counts[static_cast<std::size_t>(c)]);
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::duration<double>(spec.warmup_s));
+  std::int64_t t0 = util::now_us();
+  std::int64_t cpu0 = process_cpu_us();
+  measure_from_us.store(t0);
+  std::this_thread::sleep_for(std::chrono::duration<double>(spec.duration_s));
+  std::int64_t t1 = util::now_us();
+  std::int64_t cpu1 = process_cpu_us();
+  stop.store(true);
+  for (auto& t : threads) t.join();
+
+  RunResult res;
+  for (int c = 0; c < spec.clients; ++c) {
+    res.latency.merge(latencies[static_cast<std::size_t>(c)]);
+    res.completed += counts[static_cast<std::size_t>(c)];
+  }
+  double elapsed_s = static_cast<double>(t1 - t0) / 1e6;
+  res.kcps = static_cast<double>(res.completed) / elapsed_s / 1e3;
+  res.avg_latency_us = res.latency.mean();
+  res.p99_latency_us = res.latency.quantile(0.99);
+  res.cpu_pct = 100.0 * static_cast<double>(cpu1 - cpu0) /
+                static_cast<double>(t1 - t0);
+  return res;
+}
+
+}  // namespace psmr::workload

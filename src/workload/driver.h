@@ -1,0 +1,59 @@
+// Closed-loop workload driver for the *real* runtime.
+//
+// Mirrors the paper's measurement methodology (Section VI-B): each client
+// keeps a window of up to 50 outstanding commands, keys are selected
+// uniformly or with a Zipf(1) distribution over the key space, and we
+// report throughput (Kcps), average latency, latency histogram and process
+// CPU usage.
+//
+// Note: on this host the entire system (clients, Paxos, replicas) shares
+// very few cores, so real-mode numbers measure protocol overhead rather
+// than the paper's 8-core scaling — the figure benches default to the
+// calibrated simulator (sim/model.h) and offer --real for these
+// measurements.  See DESIGN.md.
+#pragma once
+
+#include <cstdint>
+
+#include "smr/runtime.h"
+#include "util/histogram.h"
+
+namespace psmr::workload {
+
+/// Key-value operation mix in percent (must sum to 100).
+struct KvMix {
+  int read_pct = 100;
+  int update_pct = 0;
+  int insert_pct = 0;
+  int delete_pct = 0;
+};
+
+struct KvWorkloadSpec {
+  int clients = 4;
+  int window = 50;           // outstanding commands per client
+  double duration_s = 2.0;   // measured interval (after warmup)
+  double warmup_s = 0.3;
+  KvMix mix;
+  std::uint64_t keys = 100'000;  // preloaded key range to operate on
+  bool zipf = false;
+  double zipf_s = 1.0;
+  std::uint64_t seed = 42;
+};
+
+struct RunResult {
+  double kcps = 0;
+  double avg_latency_us = 0;
+  double p99_latency_us = 0;
+  util::Histogram latency;
+  double cpu_pct = 0;  // process CPU time / wall time * 100
+  std::uint64_t completed = 0;
+};
+
+/// Drives the deployment with closed-loop clients and measures it.
+RunResult run_kv_workload(smr::Deployment& deployment,
+                          const KvWorkloadSpec& spec);
+
+/// Process CPU time (user+system) in microseconds, for CPU% accounting.
+std::int64_t process_cpu_us();
+
+}  // namespace psmr::workload

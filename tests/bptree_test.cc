@@ -1,0 +1,173 @@
+#include "kvstore/bptree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace psmr::kvstore {
+namespace {
+
+TEST(BPlusTree, EmptyTree) {
+  BPlusTree t;
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.empty());
+  EXPECT_FALSE(t.find(1).has_value());
+  EXPECT_FALSE(t.erase(1));
+  EXPECT_FALSE(t.update(1, 2));
+  EXPECT_TRUE(t.validate());
+  EXPECT_EQ(t.height(), 1);
+}
+
+TEST(BPlusTree, SingleEntry) {
+  BPlusTree t;
+  EXPECT_TRUE(t.insert(42, 7));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.find(42).value(), 7u);
+  EXPECT_FALSE(t.insert(42, 8));  // duplicate rejected
+  EXPECT_EQ(t.find(42).value(), 7u);
+  EXPECT_TRUE(t.update(42, 9));
+  EXPECT_EQ(t.find(42).value(), 9u);
+  EXPECT_TRUE(t.erase(42));
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.validate());
+}
+
+TEST(BPlusTree, SequentialInsertGrowsHeight) {
+  BPlusTree t;
+  for (std::uint64_t k = 0; k < 10000; ++k) {
+    ASSERT_TRUE(t.insert(k, k * 2));
+  }
+  EXPECT_EQ(t.size(), 10000u);
+  EXPECT_GE(t.height(), 2);
+  EXPECT_TRUE(t.validate());
+  for (std::uint64_t k = 0; k < 10000; ++k) {
+    ASSERT_EQ(t.find(k).value(), k * 2) << "key " << k;
+  }
+  EXPECT_FALSE(t.find(10000).has_value());
+}
+
+TEST(BPlusTree, ReverseSequentialInsert) {
+  BPlusTree t;
+  for (std::uint64_t k = 5000; k > 0; --k) {
+    ASSERT_TRUE(t.insert(k, k));
+  }
+  EXPECT_TRUE(t.validate());
+  std::uint64_t expect = 1;
+  t.for_each([&](std::uint64_t k, std::uint64_t) {
+    EXPECT_EQ(k, expect);
+    ++expect;
+  });
+}
+
+TEST(BPlusTree, DeleteEverythingForwards) {
+  BPlusTree t;
+  for (std::uint64_t k = 0; k < 3000; ++k) t.insert(k, k);
+  for (std::uint64_t k = 0; k < 3000; ++k) {
+    ASSERT_TRUE(t.erase(k)) << "key " << k;
+    if (k % 257 == 0) ASSERT_TRUE(t.validate()) << "after erasing " << k;
+  }
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.height(), 1);
+  EXPECT_TRUE(t.validate());
+}
+
+TEST(BPlusTree, DeleteEverythingBackwards) {
+  BPlusTree t;
+  for (std::uint64_t k = 0; k < 3000; ++k) t.insert(k, k);
+  for (std::uint64_t k = 3000; k-- > 0;) {
+    ASSERT_TRUE(t.erase(k)) << "key " << k;
+    if (k % 257 == 0) ASSERT_TRUE(t.validate()) << "after erasing " << k;
+  }
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(BPlusTree, DigestTracksContent) {
+  BPlusTree a, b;
+  for (std::uint64_t k = 0; k < 500; ++k) {
+    a.insert(k, k);
+    b.insert(499 - k, 499 - k);  // same content, different insert order
+  }
+  EXPECT_EQ(a.digest(), b.digest());
+  b.update(7, 999);
+  EXPECT_NE(a.digest(), b.digest());
+  b.update(7, 7);
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(BPlusTree, ForEachIsSortedAndComplete) {
+  BPlusTree t;
+  util::SplitMix64 rng(99);
+  std::map<std::uint64_t, std::uint64_t> ref;
+  for (int i = 0; i < 5000; ++i) {
+    std::uint64_t k = rng.next_below(100000);
+    std::uint64_t v = rng.next();
+    if (ref.emplace(k, v).second) {
+      ASSERT_TRUE(t.insert(k, v));
+    }
+  }
+  auto it = ref.begin();
+  t.for_each([&](std::uint64_t k, std::uint64_t v) {
+    ASSERT_NE(it, ref.end());
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+  });
+  EXPECT_EQ(it, ref.end());
+}
+
+// Property test: random interleaving of all four operations, checked
+// against std::map, with periodic structural validation.
+class BPlusTreeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BPlusTreeFuzz, MatchesReferenceModel) {
+  util::SplitMix64 rng(GetParam());
+  BPlusTree t;
+  std::map<std::uint64_t, std::uint64_t> ref;
+  const std::uint64_t key_space = 1 + rng.next_below(2000);
+
+  for (int step = 0; step < 20000; ++step) {
+    std::uint64_t k = rng.next_below(key_space);
+    switch (rng.next_below(4)) {
+      case 0: {
+        std::uint64_t v = rng.next();
+        bool ok = t.insert(k, v);
+        bool ref_ok = ref.emplace(k, v).second;
+        ASSERT_EQ(ok, ref_ok) << "insert " << k << " at step " << step;
+        break;
+      }
+      case 1: {
+        bool ok = t.erase(k);
+        bool ref_ok = ref.erase(k) > 0;
+        ASSERT_EQ(ok, ref_ok) << "erase " << k << " at step " << step;
+        break;
+      }
+      case 2: {
+        auto v = t.find(k);
+        auto it = ref.find(k);
+        ASSERT_EQ(v.has_value(), it != ref.end()) << "find " << k;
+        if (v) ASSERT_EQ(*v, it->second);
+        break;
+      }
+      case 3: {
+        std::uint64_t v = rng.next();
+        bool ok = t.update(k, v);
+        auto it = ref.find(k);
+        ASSERT_EQ(ok, it != ref.end()) << "update " << k;
+        if (ok) it->second = v;
+        break;
+      }
+    }
+    ASSERT_EQ(t.size(), ref.size());
+    if (step % 2500 == 0) ASSERT_TRUE(t.validate()) << "step " << step;
+  }
+  ASSERT_TRUE(t.validate());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BPlusTreeFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace psmr::kvstore

@@ -1,0 +1,159 @@
+#include "kvstore/concurrent_bptree.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace psmr::kvstore {
+namespace {
+
+TEST(ConcurrentBPlusTree, SingleThreadBasics) {
+  ConcurrentBPlusTree t;
+  EXPECT_FALSE(t.find(1).has_value());
+  EXPECT_TRUE(t.insert(1, 10));
+  EXPECT_FALSE(t.insert(1, 11));
+  EXPECT_EQ(t.find(1).value(), 10u);
+  EXPECT_TRUE(t.update(1, 12));
+  EXPECT_EQ(t.find(1).value(), 12u);
+  EXPECT_TRUE(t.erase(1));
+  EXPECT_FALSE(t.erase(1));
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.validate());
+}
+
+TEST(ConcurrentBPlusTree, SingleThreadMatchesReference) {
+  util::SplitMix64 rng(17);
+  ConcurrentBPlusTree t;
+  std::map<std::uint64_t, std::uint64_t> ref;
+  for (int step = 0; step < 20000; ++step) {
+    std::uint64_t k = rng.next_below(1500);
+    switch (rng.next_below(4)) {
+      case 0: {
+        std::uint64_t v = rng.next();
+        ASSERT_EQ(t.insert(k, v), ref.emplace(k, v).second);
+        break;
+      }
+      case 1:
+        ASSERT_EQ(t.erase(k), ref.erase(k) > 0);
+        break;
+      case 2: {
+        auto v = t.find(k);
+        auto it = ref.find(k);
+        ASSERT_EQ(v.has_value(), it != ref.end());
+        if (v) ASSERT_EQ(*v, it->second);
+        break;
+      }
+      case 3: {
+        std::uint64_t v = rng.next();
+        auto it = ref.find(k);
+        ASSERT_EQ(t.update(k, v), it != ref.end());
+        if (it != ref.end()) it->second = v;
+        break;
+      }
+    }
+    if (step % 2500 == 0) ASSERT_TRUE(t.validate());
+  }
+  ASSERT_TRUE(t.validate());
+  ASSERT_EQ(t.size(), ref.size());
+}
+
+TEST(ConcurrentBPlusTree, ParallelReadersDuringWrites) {
+  ConcurrentBPlusTree t;
+  constexpr std::uint64_t kKeys = 20000;
+  for (std::uint64_t k = 0; k < kKeys; k += 2) t.insert(k, k);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      util::SplitMix64 rng(1000 + r);
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::uint64_t k = rng.next_below(kKeys);
+        auto v = t.find(k);
+        if (v) {
+          // A present value is always the key itself in this test.
+          EXPECT_EQ(*v, k);
+        }
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Writer inserts the odd keys and deletes half the even ones.
+  for (std::uint64_t k = 1; k < kKeys; k += 2) ASSERT_TRUE(t.insert(k, k));
+  for (std::uint64_t k = 0; k < kKeys; k += 4) ASSERT_TRUE(t.erase(k));
+  stop = true;
+  for (auto& th : readers) th.join();
+  EXPECT_GT(reads.load(), 0u);
+  EXPECT_TRUE(t.validate());
+  EXPECT_EQ(t.size(), kKeys / 2 + kKeys / 4);
+}
+
+TEST(ConcurrentBPlusTree, ConcurrentDisjointWriters) {
+  ConcurrentBPlusTree t;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 8000;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kThreads; ++w) {
+    writers.emplace_back([&, w] {
+      std::uint64_t base = static_cast<std::uint64_t>(w) * 1'000'000;
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        ASSERT_TRUE(t.insert(base + i, base + i));
+      }
+      for (std::uint64_t i = 0; i < kPerThread; i += 2) {
+        ASSERT_TRUE(t.erase(base + i));
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  EXPECT_EQ(t.size(), kThreads * kPerThread / 2);
+  EXPECT_TRUE(t.validate());
+  for (int w = 0; w < kThreads; ++w) {
+    std::uint64_t base = static_cast<std::uint64_t>(w) * 1'000'000;
+    EXPECT_FALSE(t.find(base).has_value());
+    EXPECT_EQ(t.find(base + 1).value(), base + 1);
+  }
+}
+
+TEST(ConcurrentBPlusTree, MixedChaos) {
+  // All four operations from several threads on overlapping key ranges;
+  // afterwards the structure must validate and contain only sane values.
+  ConcurrentBPlusTree t;
+  constexpr std::uint64_t kSpace = 4096;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 4; ++w) {
+    threads.emplace_back([&, w] {
+      util::SplitMix64 rng(31 + w);
+      for (int step = 0; step < 30000; ++step) {
+        std::uint64_t k = rng.next_below(kSpace);
+        switch (rng.next_below(4)) {
+          case 0:
+            t.insert(k, k * 2);
+            break;
+          case 1:
+            t.erase(k);
+            break;
+          case 2: {
+            auto v = t.find(k);
+            if (v) EXPECT_EQ(*v, k * 2);
+            break;
+          }
+          case 3:
+            t.update(k, k * 2);
+            break;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_TRUE(t.validate());
+  t.for_each([](std::uint64_t k, std::uint64_t v) { EXPECT_EQ(v, k * 2); });
+}
+
+}  // namespace
+}  // namespace psmr::kvstore

@@ -1,0 +1,196 @@
+// Fault-tolerance sweep: quorum arithmetic with larger acceptor sets,
+// acceptor crashes mid-stream, combined drop+crash conditions, and
+// merge determinism under randomized traffic at several group counts.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "multicast/amcast.h"
+#include "transport/network.h"
+
+namespace psmr {
+namespace {
+
+using paxos::Ring;
+using paxos::RingConfig;
+using transport::Network;
+
+util::Buffer cmd(std::uint64_t id) {
+  util::Writer w;
+  w.u64(id);
+  return w.take();
+}
+
+std::uint64_t cmd_id(const util::Buffer& b) {
+  return util::Reader(b).u64();
+}
+
+RingConfig fast(std::size_t acceptors = 3) {
+  RingConfig cfg;
+  cfg.num_acceptors = acceptors;
+  cfg.batch_timeout = std::chrono::microseconds(300);
+  cfg.rto = std::chrono::microseconds(3000);
+  return cfg;
+}
+
+// Drains until `want` commands (in order) or failure.
+void expect_sequence(paxos::LearnerLog& log, std::uint64_t from,
+                     std::uint64_t to) {
+  std::uint64_t expect = from;
+  while (expect < to) {
+    auto d = log.next_for(std::chrono::seconds(10));
+    ASSERT_TRUE(d.has_value()) << "stalled at " << expect;
+    if (d->batch.skip) continue;
+    for (const auto& c : d->batch.commands) {
+      ASSERT_EQ(cmd_id(c), expect);
+      ++expect;
+    }
+  }
+}
+
+class AcceptorFailures : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AcceptorFailures, ToleratesMinorityCrashes) {
+  // n acceptors tolerate floor((n-1)/2) crashes.
+  const std::size_t n = GetParam();
+  const std::size_t f = (n - 1) / 2;
+  Network net;
+  Ring ring(net, 0, fast(n));
+  auto learner = ring.subscribe();
+  ring.start();
+  auto [me, mybox] = net.register_node();
+
+  for (std::uint64_t i = 0; i < 50; ++i) ring.submit(me, cmd(i));
+  expect_sequence(*learner, 0, 50);
+
+  // Crash a minority, one at a time, continuing to order in between.
+  for (std::size_t crash = 0; crash < f; ++crash) {
+    net.disconnect(ring.acceptor_ids()[crash]);
+    std::uint64_t base = 50 + crash * 50;
+    for (std::uint64_t i = base; i < base + 50; ++i) ring.submit(me, cmd(i));
+    expect_sequence(*learner, base, base + 50);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Quorums, AcceptorFailures,
+                         ::testing::Values(3, 5, 7),
+                         [](const auto& info) {
+                           return "acceptors" +
+                                  std::to_string(info.param);
+                         });
+
+TEST(FaultTolerance, MajorityCrashStallsThenRecoveryResumes) {
+  Network net;
+  Ring ring(net, 0, fast(3));
+  auto learner = ring.subscribe();
+  ring.start();
+  auto [me, mybox] = net.register_node();
+
+  for (std::uint64_t i = 0; i < 20; ++i) ring.submit(me, cmd(i));
+  expect_sequence(*learner, 0, 20);
+
+  // Crash 2 of 3 acceptors: no quorum, the ring must stall (safety).
+  net.disconnect(ring.acceptor_ids()[0]);
+  net.disconnect(ring.acceptor_ids()[1]);
+  for (std::uint64_t i = 20; i < 30; ++i) ring.submit(me, cmd(i));
+  auto stalled = learner->next_for(std::chrono::milliseconds(150));
+  while (stalled && stalled->batch.skip) {
+    stalled = learner->next_for(std::chrono::milliseconds(150));
+  }
+  EXPECT_FALSE(stalled.has_value()) << "ordered without a quorum";
+
+  // Reconnect one: quorum restored, retransmissions finish the job.
+  net.reconnect(ring.acceptor_ids()[0]);
+  expect_sequence(*learner, 20, 30);
+}
+
+TEST(FaultTolerance, DropsPlusAcceptorCrash) {
+  Network net;
+  Ring ring(net, 0, fast(3));
+  auto learner = ring.subscribe();
+  ring.start();
+  auto [me, mybox] = net.register_node();
+  net.disconnect(ring.acceptor_ids()[2]);
+  net.set_drop_probability(0.05);
+
+  std::set<std::uint64_t> got;
+  for (int attempt = 0; attempt < 60 && got.size() < 60; ++attempt) {
+    for (std::uint64_t i = 0; i < 60; ++i) {
+      if (!got.contains(i)) ring.submit(me, cmd(i));
+    }
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(200);
+    while (std::chrono::steady_clock::now() < deadline && got.size() < 60) {
+      auto d = learner->next_for(std::chrono::milliseconds(50));
+      if (!d || d->batch.skip) continue;
+      for (const auto& c : d->batch.commands) got.insert(cmd_id(c));
+    }
+  }
+  EXPECT_EQ(got.size(), 60u);
+}
+
+// Merge determinism property, parameterized over group counts: randomized
+// singleton/all-group traffic; every pair of same-group subscribers must
+// observe identical merged streams.
+class MergeDeterminism : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MergeDeterminism, SameGroupStreamsIdentical) {
+  const std::size_t k = GetParam();
+  Network net;
+  multicast::BusConfig cfg;
+  cfg.num_groups = k;
+  cfg.ring.batch_timeout = std::chrono::microseconds(300);
+  cfg.ring.skip_interval = std::chrono::microseconds(500);
+  multicast::Bus bus(net, cfg);
+
+  // Two replicas' worth of subscribers for every group.
+  std::vector<std::unique_ptr<multicast::MergeDeliverer>> replica_a;
+  std::vector<std::unique_ptr<multicast::MergeDeliverer>> replica_b;
+  for (std::size_t g = 0; g < k; ++g) {
+    replica_a.push_back(bus.subscribe(static_cast<multicast::GroupId>(g)));
+    replica_b.push_back(bus.subscribe(static_cast<multicast::GroupId>(g)));
+  }
+  bus.start();
+  auto [me, mybox] = net.register_node();
+
+  util::SplitMix64 rng(k * 1000 + 7);
+  std::vector<std::size_t> per_group(k, 0);
+  std::size_t shared = 0;
+  constexpr std::size_t kMessages = 400;
+  for (std::uint64_t i = 0; i < kMessages; ++i) {
+    if (rng.chance(0.2)) {
+      bus.multicast(me, multicast::GroupSet::all(k), cmd(i));
+      ++shared;
+    } else {
+      auto g = static_cast<multicast::GroupId>(rng.next_below(k));
+      bus.multicast(me, multicast::GroupSet::single(g), cmd(i));
+      ++per_group[g];
+    }
+  }
+
+  for (std::size_t g = 0; g < k; ++g) {
+    std::size_t want = per_group[g] + shared;
+    std::vector<std::pair<std::size_t, std::uint64_t>> sa, sb;
+    while (sa.size() < want) {
+      auto d = replica_a[g]->next();
+      ASSERT_TRUE(d.has_value());
+      sa.emplace_back(d->stream, cmd_id(d->message));
+    }
+    while (sb.size() < want) {
+      auto d = replica_b[g]->next();
+      ASSERT_TRUE(d.has_value());
+      sb.emplace_back(d->stream, cmd_id(d->message));
+    }
+    EXPECT_EQ(sa, sb) << "replicas diverged on group " << g;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Groups, MergeDeterminism,
+                         ::testing::Values(2, 4, 8),
+                         [](const auto& info) {
+                           return "k" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace psmr

@@ -1,0 +1,95 @@
+// Unit tests for the key-value service binding (command interpretation,
+// marshaling, preload, digests) — paper Section V-A semantics.
+#include <gtest/gtest.h>
+
+#include "kvstore/kv_service.h"
+
+namespace psmr::kvstore {
+namespace {
+
+smr::Command cmd(smr::CommandId id, util::Buffer params) {
+  smr::Command c;
+  c.cmd = id;
+  c.client = 1;
+  c.seq = 1;
+  c.params = std::move(params);
+  return c;
+}
+
+KvResult run(smr::Service& svc, smr::CommandId id, util::Buffer params) {
+  return decode_result(svc.execute(cmd(id, std::move(params))));
+}
+
+TEST(KvService, InsertReadUpdateDelete) {
+  KvService svc;
+  EXPECT_EQ(run(svc, kKvInsert, encode_key_value(7, 70)).status, kKvOk);
+  EXPECT_EQ(run(svc, kKvInsert, encode_key_value(7, 71)).status, kKvExists);
+  auto rd = run(svc, kKvRead, encode_key(7));
+  EXPECT_EQ(rd.status, kKvOk);
+  EXPECT_EQ(rd.value, 70u);
+  EXPECT_EQ(run(svc, kKvUpdate, encode_key_value(7, 77)).status, kKvOk);
+  EXPECT_EQ(run(svc, kKvRead, encode_key(7)).value, 77u);
+  EXPECT_EQ(run(svc, kKvDelete, encode_key(7)).status, kKvOk);
+  EXPECT_EQ(run(svc, kKvRead, encode_key(7)).status, kKvNotFound);
+  EXPECT_EQ(run(svc, kKvUpdate, encode_key_value(7, 1)).status, kKvNotFound);
+  EXPECT_EQ(run(svc, kKvDelete, encode_key(7)).status, kKvNotFound);
+}
+
+TEST(KvService, PreloadInitializesRange) {
+  KvService svc(/*initial_keys=*/1000);
+  EXPECT_EQ(svc.tree().size(), 1000u);
+  EXPECT_EQ(run(svc, kKvRead, encode_key(0)).status, kKvOk);
+  EXPECT_EQ(run(svc, kKvRead, encode_key(999)).value, 999u);
+  EXPECT_EQ(run(svc, kKvRead, encode_key(1000)).status, kKvNotFound);
+}
+
+TEST(KvService, DigestReflectsContentNotHistory) {
+  KvService a, b;
+  run(a, kKvInsert, encode_key_value(1, 10));
+  run(a, kKvInsert, encode_key_value(2, 20));
+  run(b, kKvInsert, encode_key_value(2, 20));
+  run(b, kKvInsert, encode_key_value(1, 99));
+  run(b, kKvUpdate, encode_key_value(1, 10));
+  EXPECT_EQ(a.state_digest(), b.state_digest());
+  run(b, kKvDelete, encode_key(2));
+  EXPECT_NE(a.state_digest(), b.state_digest());
+}
+
+TEST(KvService, UnknownCommandFailsGracefully) {
+  KvService svc;
+  EXPECT_EQ(run(svc, 999, encode_key(1)).status, kKvNotFound);
+}
+
+TEST(KvService, ConcurrentVariantMatchesSequentialSemantics) {
+  KvService plain(100);
+  ConcurrentKvService concurrent(100);
+  for (std::uint64_t k = 0; k < 100; k += 3) {
+    EXPECT_EQ(run(plain, kKvUpdate, encode_key_value(k, k * 7)).status,
+              run(concurrent, kKvUpdate, encode_key_value(k, k * 7)).status);
+  }
+  EXPECT_EQ(run(plain, kKvRead, encode_key(9)).value,
+            run(concurrent, kKvRead, encode_key(9)).value);
+  EXPECT_EQ(plain.state_digest(), concurrent.state_digest());
+}
+
+TEST(KvService, LockedWrapperIsTransparent) {
+  auto locked = smr::LockedService(std::make_unique<KvService>(10));
+  EXPECT_EQ(decode_result(locked.execute(cmd(kKvRead, encode_key(5)))).value,
+            5u);
+  EXPECT_EQ(locked.state_digest(), KvService(10).state_digest());
+}
+
+TEST(KvCodec, ResultRoundTrip) {
+  KvResult in{kKvExists, 0xdeadbeefcafef00dULL};
+  auto out = decode_result(encode_result(in));
+  EXPECT_EQ(out.status, kKvExists);
+  EXPECT_EQ(out.value, in.value);
+}
+
+TEST(KvCodec, KeyExtraction) {
+  EXPECT_EQ(decode_key(encode_key(42)), 42u);
+  EXPECT_EQ(decode_key(encode_key_value(43, 99)), 43u);
+}
+
+}  // namespace
+}  // namespace psmr::kvstore

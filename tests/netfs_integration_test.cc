@@ -1,0 +1,164 @@
+// NetFS over the replicated deployments: the paper's second service
+// (Sections V-B, VI-C, VII-H) running end-to-end through atomic multicast,
+// path-partitioned delivery, and the compression pipeline.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "netfs/fs_client.h"
+#include "smr/runtime.h"
+#include "util/rng.h"
+
+namespace psmr::netfs {
+namespace {
+
+smr::DeploymentConfig fs_config(smr::Mode mode, std::size_t mpl) {
+  smr::DeploymentConfig cfg;
+  cfg.mode = mode;
+  cfg.mpl = mpl;
+  cfg.replicas = 2;
+  cfg.ring.batch_timeout = std::chrono::microseconds(500);
+  cfg.ring.skip_interval = std::chrono::microseconds(1500);
+  cfg.ring.rto = std::chrono::microseconds(10000);
+  cfg.service_factory = [] { return std::make_unique<FsService>(); };
+  cfg.cg_factory = [](std::size_t k) { return fs_cg(k); };
+  return cfg;
+}
+
+void wait_executed(smr::Deployment& d, std::uint64_t n) {
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    bool all = true;
+    for (std::size_t i = 0; i < d.num_services(); ++i) {
+      if (d.executed(i) < n) all = false;
+    }
+    if (all) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+class FsModes : public ::testing::TestWithParam<smr::Mode> {};
+
+TEST_P(FsModes, FullCommandSurface) {
+  smr::Deployment d(fs_config(GetParam(), 4));
+  d.start();
+  FsClient fs(d.make_client());
+
+  EXPECT_EQ(fs.mkdir("/home"), 0);
+  EXPECT_EQ(fs.mkdir("/home/user"), 0);
+  EXPECT_EQ(fs.create("/home/user/notes.txt"), 0);
+  EXPECT_EQ(fs.create("/home/user/notes.txt"), -EEXIST);
+
+  util::Buffer content;
+  for (int i = 0; i < 1024; ++i) {
+    content.push_back(static_cast<std::uint8_t>('a' + i % 26));
+  }
+  EXPECT_EQ(fs.write("/home/user/notes.txt", 0, content), 0);
+  util::Buffer readback;
+  EXPECT_EQ(fs.read("/home/user/notes.txt", 0, 1024, readback), 0);
+  EXPECT_EQ(readback, content);
+
+  std::uint64_t fh = 0;
+  EXPECT_EQ(fs.open("/home/user/notes.txt", fh), 0);
+  EXPECT_EQ(fs.release(fh), 0);
+
+  FsStat st;
+  EXPECT_EQ(fs.lstat("/home/user/notes.txt", st), 0);
+  EXPECT_EQ(st.size, 1024u);
+  EXPECT_EQ(fs.utimens("/home/user/notes.txt", 1, 2), 0);
+  EXPECT_EQ(fs.access("/home/user/notes.txt", 4), 0);
+
+  std::vector<std::string> names;
+  EXPECT_EQ(fs.readdir("/home/user", names), 0);
+  EXPECT_EQ(names, std::vector<std::string>{"notes.txt"});
+
+  EXPECT_EQ(fs.unlink("/home/user/notes.txt"), 0);
+  EXPECT_EQ(fs.rmdir("/home/user"), 0);
+  EXPECT_EQ(fs.rmdir("/home"), 0);
+  d.stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, FsModes,
+                         ::testing::Values(smr::Mode::kSmr, smr::Mode::kSpsmr,
+                                           smr::Mode::kPsmr),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case smr::Mode::kSmr: return "SMR";
+                             case smr::Mode::kSpsmr: return "sPSMR";
+                             case smr::Mode::kPsmr: return "PSMR";
+                             default: return "other";
+                           }
+                         });
+
+TEST(NetFsPsmr, ConcurrentClientsOnDisjointFilesConverge) {
+  smr::Deployment d(fs_config(smr::Mode::kPsmr, 8));
+  d.start();
+  {
+    FsClient setup(d.make_client());
+    ASSERT_EQ(setup.mkdir("/data"), 0);
+    for (int f = 0; f < 8; ++f) {
+      ASSERT_EQ(setup.create("/data/f" + std::to_string(f)), 0);
+    }
+  }
+  constexpr int kClients = 4;
+  constexpr int kOps = 60;
+  std::vector<std::thread> drivers;
+  for (int c = 0; c < kClients; ++c) {
+    drivers.emplace_back([&, c] {
+      FsClient fs(d.make_client());
+      util::SplitMix64 rng(c + 1);
+      util::Buffer block(1024, static_cast<std::uint8_t>(c));
+      for (int i = 0; i < kOps; ++i) {
+        std::string path = "/data/f" + std::to_string(rng.next_below(8));
+        if (rng.chance(0.5)) {
+          EXPECT_EQ(fs.write(path, rng.next_below(4096), block), 0);
+        } else {
+          util::Buffer out;
+          EXPECT_EQ(fs.read(path, 0, 1024, out), 0);
+        }
+      }
+    });
+  }
+  for (auto& t : drivers) t.join();
+  wait_executed(d, 9 + kClients * kOps);
+  EXPECT_EQ(d.state_digest(0), d.state_digest(1));
+  d.stop();
+}
+
+TEST(NetFsPsmr, StructuralChurnWithConcurrentData) {
+  // Directory create/remove (synchronous mode) racing data ops (parallel
+  // mode): exercises the barrier path with the compression pipeline.
+  smr::Deployment d(fs_config(smr::Mode::kPsmr, 4));
+  d.start();
+  {
+    FsClient setup(d.make_client());
+    ASSERT_EQ(setup.create("/stable"), 0);
+  }
+  std::thread churn([&] {
+    FsClient fs(d.make_client());
+    for (int i = 0; i < 40; ++i) {
+      std::string dir = "/tmp" + std::to_string(i);
+      EXPECT_EQ(fs.mkdir(dir), 0);
+      EXPECT_EQ(fs.create(dir + "/x"), 0);
+      EXPECT_EQ(fs.unlink(dir + "/x"), 0);
+      EXPECT_EQ(fs.rmdir(dir), 0);
+    }
+  });
+  std::thread data([&] {
+    FsClient fs(d.make_client());
+    util::Buffer block(512, 0x7e);
+    for (int i = 0; i < 80; ++i) {
+      EXPECT_EQ(fs.write("/stable", (i % 8) * 512, block), 0);
+      util::Buffer out;
+      EXPECT_EQ(fs.read("/stable", 0, 512, out), 0);
+    }
+  });
+  churn.join();
+  data.join();
+  wait_executed(d, 1 + 160 + 160);
+  EXPECT_EQ(d.state_digest(0), d.state_digest(1));
+  d.stop();
+}
+
+}  // namespace
+}  // namespace psmr::netfs

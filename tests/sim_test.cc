@@ -1,0 +1,213 @@
+// Tests for the DES engine and the architecture models: determinism,
+// conservation laws, and the paper's qualitative performance relations
+// (which must be *emergent* properties of the models, not assertions).
+#include <gtest/gtest.h>
+
+#include "sim/engine.h"
+#include "sim/model.h"
+
+namespace psmr::sim {
+namespace {
+
+TEST(Engine, ExecutesInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.at(30, [&] { order.push_back(3); });
+  eng.at(10, [&] { order.push_back(1); });
+  eng.at(20, [&] { order.push_back(2); });
+  eng.run_until(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), 100);
+}
+
+TEST(Engine, FifoAmongSimultaneousEvents) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    eng.at(5, [&order, i] { order.push_back(i); });
+  }
+  eng.run_until(10);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, EventsCanScheduleEvents) {
+  Engine eng;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    if (++fired < 5) eng.after(10, chain);
+  };
+  eng.after(10, chain);
+  eng.run_until(1000);
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(Engine, StopsAtHorizon) {
+  Engine eng;
+  int fired = 0;
+  eng.at(50, [&] { fired++; });
+  eng.at(150, [&] { fired++; });
+  eng.run_until(100);
+  EXPECT_EQ(fired, 1);
+}
+
+SimConfig quick(Tech t, int workers) {
+  SimConfig cfg;
+  cfg.tech = t;
+  cfg.workers = workers;
+  cfg.clients = 30;
+  cfg.warmup_us = 10'000;
+  cfg.duration_us = 60'000;
+  return cfg;
+}
+
+TEST(Model, DeterministicForFixedSeed) {
+  auto a = simulate(quick(Tech::kPsmr, 8));
+  auto b = simulate(quick(Tech::kPsmr, 8));
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_DOUBLE_EQ(a.kcps, b.kcps);
+  EXPECT_DOUBLE_EQ(a.avg_latency_us, b.avg_latency_us);
+}
+
+TEST(Model, SeedChangesOutcomeSlightly) {
+  auto a = simulate(quick(Tech::kPsmr, 8));
+  auto cfg = quick(Tech::kPsmr, 8);
+  cfg.seed = 99;
+  auto b = simulate(cfg);
+  EXPECT_NE(a.completed, b.completed);
+  EXPECT_NEAR(a.kcps, b.kcps, a.kcps * 0.05);  // statistically stable
+}
+
+TEST(Model, ThroughputMatchesLittlesLaw) {
+  // Closed loop: clients*window outstanding = throughput * latency.
+  auto cfg = quick(Tech::kSmr, 1);
+  auto r = simulate(cfg);
+  double outstanding = cfg.clients * cfg.window;
+  double little = r.kcps * 1e3 * (r.avg_latency_us / 1e6);
+  EXPECT_NEAR(little, outstanding, outstanding * 0.1);
+}
+
+TEST(Model, AllCommandsAccountedFor) {
+  auto r = simulate(quick(Tech::kSpsmr, 4));
+  EXPECT_GT(r.completed, 0u);
+  EXPECT_GT(r.cpu_pct, 0);
+  EXPECT_LE(r.latency.count(), r.completed + 1);
+}
+
+// --- Paper shape properties (emergent, with slack) ---
+
+TEST(Model, Fig3IndependentOrdering) {
+  double smr = simulate(quick(Tech::kSmr, 1)).kcps;
+  double spsmr = simulate(quick(Tech::kSpsmr, 2)).kcps;
+  double norep = simulate(quick(Tech::kNoRep, 2)).kcps;
+  auto pc = quick(Tech::kPsmr, 8);
+  pc.clients = 150;
+  double psmr = simulate(pc).kcps;
+  double bdb = simulate(quick(Tech::kLock, 6)).kcps;
+  // Paper Fig. 3: P-SMR > no-rep > sP-SMR > SMR >> BDB.
+  EXPECT_GT(psmr, 2.5 * smr);
+  EXPECT_LT(psmr, 4.0 * smr);
+  EXPECT_GT(norep, smr);
+  EXPECT_GT(spsmr, smr);
+  EXPECT_LT(spsmr, norep);
+  EXPECT_LT(bdb, 0.3 * smr);
+}
+
+TEST(Model, Fig4DependentOrdering) {
+  auto dep = [&](Tech t, int w) {
+    auto cfg = quick(t, w);
+    cfg.frac_dependent = 1.0;
+    return simulate(cfg).kcps;
+  };
+  double smr = dep(Tech::kSmr, 1);
+  double psmr = dep(Tech::kPsmr, 1);
+  double spsmr = dep(Tech::kSpsmr, 1);
+  double norep = dep(Tech::kNoRep, 1);
+  double bdb = dep(Tech::kLock, 4);
+  // Paper Fig. 4: SMR wins; P-SMR ~0.5x; no-rep ~0.32x; sP-SMR ~0.28x;
+  // BDB ~0.12x.
+  EXPECT_GT(smr, psmr);
+  EXPECT_GT(psmr, norep);
+  EXPECT_GE(norep, spsmr);
+  EXPECT_GT(spsmr, bdb);
+  EXPECT_NEAR(psmr / smr, 0.5, 0.12);
+}
+
+TEST(Model, Fig5PsmrScalesOthersDoNot) {
+  auto indep = [&](Tech t, int w) {
+    auto cfg = quick(t, w);
+    cfg.clients = 30 * w;
+    return simulate(cfg).kcps;
+  };
+  // P-SMR grows substantially from 2 to 8 workers.
+  EXPECT_GT(indep(Tech::kPsmr, 8), 2.2 * indep(Tech::kPsmr, 2));
+  // sP-SMR declines beyond its 2-worker peak (scheduler bound).
+  EXPECT_LT(indep(Tech::kSpsmr, 8), indep(Tech::kSpsmr, 2));
+}
+
+TEST(Model, Fig6BreakevenNearTenPercent) {
+  double smr = simulate(quick(Tech::kSmr, 1)).kcps;
+  auto mixed = [&](double frac) {
+    auto cfg = quick(Tech::kPsmr, 8);
+    cfg.clients = 120;
+    cfg.frac_dependent = frac;
+    return simulate(cfg).kcps;
+  };
+  EXPECT_GT(mixed(0.01), smr);   // 1% dependent: P-SMR still well ahead
+  EXPECT_LT(mixed(0.20), smr);   // 20%: past the breakeven
+}
+
+TEST(Model, Fig7ZipfBoundsPsmrByHottestGroup) {
+  auto cfg = quick(Tech::kPsmr, 8);
+  cfg.clients = 150;
+  double uniform = simulate(cfg).kcps;
+  cfg.zipf = true;
+  auto z = simulate(cfg);
+  EXPECT_LT(z.kcps, uniform);           // skew hurts P-SMR
+  EXPECT_GT(z.max_worker_share, 0.13);  // imbalance beyond 1/8
+}
+
+TEST(Model, Fig7ZipfHelpsSpsmrAtLowThreads) {
+  // Cache effect: with 1 worker, sP-SMR is worker-bound and Zipf's hot
+  // working set executes faster (paper Section VII-G).
+  auto cfg = quick(Tech::kSpsmr, 1);
+  double uniform = simulate(cfg).kcps;
+  cfg.zipf = true;
+  double zipf = simulate(cfg).kcps;
+  EXPECT_GT(zipf, uniform);
+}
+
+TEST(Model, Fig8NetfsShape) {
+  auto run = [&](Tech t, int w, bool reads) {
+    auto cfg = quick(t, w);
+    cfg.netfs = true;
+    cfg.netfs_reads = reads;
+    cfg.clients = t == Tech::kPsmr ? 50 : 16;
+    return simulate(cfg);
+  };
+  auto smr_r = run(Tech::kSmr, 1, true);
+  auto smr_w = run(Tech::kSmr, 1, false);
+  auto sp_r = run(Tech::kSpsmr, 8, true);
+  auto ps_r = run(Tech::kPsmr, 8, true);
+  auto ps_w = run(Tech::kPsmr, 8, false);
+  // Writes are faster than reads (compression asymmetry).
+  EXPECT_GT(smr_w.kcps, smr_r.kcps);
+  EXPECT_GT(ps_w.kcps, ps_r.kcps);
+  // P-SMR ~3x SMR; sP-SMR only ~1.1-1.2x.
+  EXPECT_NEAR(ps_r.kcps / smr_r.kcps, 3.1, 0.5);
+  EXPECT_GT(sp_r.kcps, smr_r.kcps);
+  EXPECT_LT(sp_r.kcps, 1.4 * smr_r.kcps);
+  // Read latency exceeds write latency at comparable load.
+  EXPECT_GT(ps_r.avg_latency_us, ps_w.avg_latency_us);
+}
+
+TEST(Model, CpuTracksParallelism) {
+  auto smr = simulate(quick(Tech::kSmr, 1));
+  auto pc = quick(Tech::kPsmr, 8);
+  pc.clients = 150;
+  auto psmr = simulate(pc);
+  EXPECT_LT(smr.cpu_pct, 250);
+  EXPECT_GT(psmr.cpu_pct, 600);  // approaching 8 busy cores
+}
+
+}  // namespace
+}  // namespace psmr::sim

@@ -1,0 +1,237 @@
+// Component-level tests for the SMR layer: client proxy response handling,
+// scheduler-core dispatch/drain behaviour, lock-server fan-out, and the
+// P-SMR replica's duplicate suppression.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "kvstore/kv_client.h"
+#include "smr/lockserver.h"
+#include "smr/runtime.h"
+#include "smr/scheduler.h"
+
+namespace psmr::smr {
+namespace {
+
+using kvstore::KvService;
+
+// A service that records executions (for dedup/ordering assertions).
+class RecordingService : public Service {
+ public:
+  util::Buffer execute(const Command& cmd) override {
+    std::lock_guard lock(mu_);
+    executed_.emplace_back(cmd.client, cmd.seq);
+    util::Writer w;
+    w.u64(cmd.seq);
+    return w.take();
+  }
+  [[nodiscard]] std::uint64_t state_digest() const override {
+    std::lock_guard lock(mu_);
+    return executed_.size();
+  }
+  [[nodiscard]] std::vector<std::pair<ClientId, Seq>> executed() const {
+    std::lock_guard lock(mu_);
+    return executed_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<ClientId, Seq>> executed_;
+};
+
+TEST(ClientProxy, AbsorbsDuplicateResponses) {
+  // Two replicas answer every command; the proxy must return exactly one
+  // completion per seq and swallow the second response.
+  transport::Network net;
+  auto [server, serverbox] = net.register_node();
+  ClientProxy proxy(net, server, /*id=*/9);
+  Seq seq = proxy.submit(1, util::Buffer{1});
+
+  // Fake two replica responses for the same seq.
+  Response resp;
+  resp.client = 9;
+  resp.seq = seq;
+  resp.payload = {42};
+  net.send(server, proxy.node(), transport::MsgType::kSmrResponse,
+           resp.encode());
+  net.send(server, proxy.node(), transport::MsgType::kSmrResponse,
+           resp.encode());
+
+  auto first = proxy.poll(std::chrono::milliseconds(100));
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->seq, seq);
+  EXPECT_EQ(first->payload, (util::Buffer{42}));
+  EXPECT_EQ(proxy.outstanding(), 0u);
+  auto second = proxy.poll(std::chrono::milliseconds(30));
+  EXPECT_FALSE(second.has_value());  // duplicate absorbed
+}
+
+TEST(ClientProxy, IgnoresMalformedAndForeignResponses) {
+  transport::Network net;
+  auto [server, serverbox] = net.register_node();
+  ClientProxy proxy(net, server, 9);
+  Seq seq = proxy.submit(1, {});
+
+  net.send(server, proxy.node(), transport::MsgType::kSmrResponse,
+           util::Buffer{1, 2});  // garbage
+  Response foreign;
+  foreign.client = 9;
+  foreign.seq = seq + 1000;  // not outstanding
+  net.send(server, proxy.node(), transport::MsgType::kSmrResponse,
+           foreign.encode());
+  EXPECT_FALSE(proxy.poll(std::chrono::milliseconds(30)).has_value());
+  EXPECT_EQ(proxy.outstanding(), 1u);
+}
+
+TEST(ClientProxy, CallTimesOutCleanly) {
+  transport::Network net;
+  auto [server, serverbox] = net.register_node();  // never answers
+  ClientProxy proxy(net, server, 9);
+  auto result = proxy.call(1, {}, std::chrono::milliseconds(50),
+                           std::chrono::milliseconds(20));
+  EXPECT_FALSE(result.has_value());
+  EXPECT_EQ(proxy.outstanding(), 0u);  // timed-out call cleaned up
+}
+
+Command make_cmd(CommandId id, ClientId client, Seq seq,
+                 transport::NodeId reply_to, util::Buffer params) {
+  Command c;
+  c.cmd = id;
+  c.client = client;
+  c.seq = seq;
+  c.reply_to = reply_to;
+  c.params = std::move(params);
+  return c;
+}
+
+TEST(SchedulerCore, DropsDuplicateSubmissions) {
+  transport::Network net;
+  auto svc = std::make_unique<RecordingService>();
+  auto* svc_ptr = svc.get();
+  SchedulerCore core(net, std::move(svc), kvstore::kv_keyed_cg(2), 2,
+                     "test");
+  core.start();
+  auto [me, mybox] = net.register_node();
+
+  core.schedule(make_cmd(kvstore::kKvRead, 1, 1, me, kvstore::encode_key(0)));
+  core.schedule(make_cmd(kvstore::kKvRead, 1, 1, me, kvstore::encode_key(0)));
+  core.schedule(make_cmd(kvstore::kKvRead, 1, 2, me, kvstore::encode_key(0)));
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (core.executed() < 2 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  core.stop();
+  EXPECT_EQ(svc_ptr->executed().size(), 2u);  // duplicate seq 1 dropped
+}
+
+TEST(SchedulerCore, SerializedCommandRunsAlone) {
+  // Dependent (multi-group) commands must never overlap independent ones:
+  // drive keyed and global commands through and check the execution log
+  // keeps every (client, seq) exactly once — the unsynchronized
+  // RecordingService would lose entries under a data race (and TSan-level
+  // interleaving bugs show up as digest mismatches in integration tests).
+  transport::Network net;
+  auto svc = std::make_unique<RecordingService>();
+  auto* svc_ptr = svc.get();
+  SchedulerCore core(net, std::move(svc), kvstore::kv_keyed_cg(4), 4,
+                     "test");
+  core.start();
+  auto [me, mybox] = net.register_node();
+
+  Seq seq = 1;
+  for (int round = 0; round < 50; ++round) {
+    core.schedule(make_cmd(kvstore::kKvRead, 1, seq++, me,
+                           kvstore::encode_key(round)));
+    core.schedule(make_cmd(kvstore::kKvInsert, 1, seq++, me,
+                           kvstore::encode_key_value(round, 1)));
+  }
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (core.executed() < 100 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  core.stop();
+  auto log = svc_ptr->executed();
+  ASSERT_EQ(log.size(), 100u);
+  std::set<Seq> seqs;
+  for (auto& [client, s] : log) EXPECT_TRUE(seqs.insert(s).second);
+}
+
+TEST(LockServer, RoutesClientsAcrossHandlers) {
+  transport::Network net;
+  auto svc = std::make_shared<LockedService>(
+      std::make_unique<KvService>(100));
+  LockServer server(net, svc, 3);
+  server.start();
+  EXPECT_EQ(server.num_threads(), 3u);
+  EXPECT_NE(server.handler_node(0), server.handler_node(1));
+
+  ClientProxy c0(net, server.handler_node(0), 1);
+  ClientProxy c1(net, server.handler_node(1), 2);
+  auto r0 = c0.call(kvstore::kKvRead, kvstore::encode_key(5),
+                    std::chrono::seconds(2));
+  auto r1 = c1.call(kvstore::kKvUpdate, kvstore::encode_key_value(5, 99),
+                    std::chrono::seconds(2));
+  ASSERT_TRUE(r0.has_value());
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ(kvstore::decode_result(*r0).value, 5u);
+  EXPECT_EQ(server.executed(), 2u);
+  server.stop();
+}
+
+TEST(PsmrReplica, ReplaysResponseForRetransmittedCommand) {
+  // A client retry of an already-executed command must get the cached
+  // response without double execution (exactly-once despite at-least-once
+  // delivery during failover windows).
+  transport::Network net;
+  multicast::BusConfig bus_cfg;
+  bus_cfg.num_groups = 2;
+  bus_cfg.ring.batch_timeout = std::chrono::microseconds(300);
+  bus_cfg.ring.skip_interval = std::chrono::microseconds(1000);
+  multicast::Bus bus(net, bus_cfg);
+  auto svc = std::make_unique<RecordingService>();
+  auto* svc_ptr = svc.get();
+  PsmrReplica replica(net, bus, std::move(svc), 2);
+  bus.start();
+  replica.start();
+
+  auto [me, mybox] = net.register_node();
+  Command c = make_cmd(1, /*client=*/5, /*seq=*/1, me, {});
+  c.groups = multicast::GroupSet::single(0);
+  bus.multicast(me, c.groups, c.encode());
+  bus.multicast(me, c.groups, c.encode());  // retransmission
+
+  int responses = 0;
+  for (int i = 0; i < 2; ++i) {
+    auto msg = mybox->pop_for(std::chrono::seconds(2));
+    if (!msg) break;
+    auto resp = Response::decode(msg->payload);
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(resp->seq, 1u);
+    ++responses;
+  }
+  EXPECT_EQ(responses, 2);                      // both submissions answered
+  EXPECT_EQ(svc_ptr->executed().size(), 1u);    // but executed once
+  EXPECT_EQ(replica.executed(), 1u);
+  replica.stop();
+  bus.stop();
+  net.shutdown();
+}
+
+TEST(Deployment, RejectsMissingFactories) {
+  DeploymentConfig cfg;
+  cfg.mode = Mode::kPsmr;
+  EXPECT_THROW(Deployment{std::move(cfg)}, std::invalid_argument);
+}
+
+TEST(Deployment, MismatchedMplRejected) {
+  transport::Network net;
+  multicast::BusConfig bus_cfg;
+  bus_cfg.num_groups = 4;
+  multicast::Bus bus(net, bus_cfg);
+  EXPECT_THROW(PsmrReplica(net, bus, std::make_unique<KvService>(), 2),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace psmr::smr

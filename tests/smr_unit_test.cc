@@ -1,0 +1,248 @@
+// Unit tests for the SMR layer's building blocks: command marshaling,
+// C-Dep, and the C-G functions of paper Section IV-C.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <vector>
+
+#include "kvstore/kv_service.h"
+#include "smr/cdep.h"
+#include "smr/cg.h"
+#include "smr/command.h"
+#include "util/rng.h"
+
+namespace psmr::smr {
+namespace {
+
+using kvstore::encode_key;
+using kvstore::encode_key_value;
+using kvstore::kKvDelete;
+using kvstore::kKvInsert;
+using kvstore::kKvRead;
+using kvstore::kKvUpdate;
+
+Command make_cmd(CommandId id, util::Buffer params, ClientId client = 1,
+                 Seq seq = 1) {
+  Command c;
+  c.cmd = id;
+  c.client = client;
+  c.seq = seq;
+  c.reply_to = 99;
+  c.params = std::move(params);
+  return c;
+}
+
+TEST(Command, EncodeDecodeRoundTrip) {
+  Command c = make_cmd(7, util::Buffer{1, 2, 3}, 42, 1000);
+  c.groups = multicast::GroupSet::all(5);
+  auto dec = Command::decode(c.encode());
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->cmd, 7);
+  EXPECT_EQ(dec->client, 42u);
+  EXPECT_EQ(dec->seq, 1000u);
+  EXPECT_EQ(dec->reply_to, 99u);
+  EXPECT_EQ(dec->groups, multicast::GroupSet::all(5));
+  EXPECT_EQ(dec->params, (util::Buffer{1, 2, 3}));
+}
+
+TEST(Command, DecodeRejectsTruncatedAndTrailing) {
+  Command c = make_cmd(7, util::Buffer{1, 2, 3});
+  auto enc = c.encode();
+  enc.pop_back();
+  EXPECT_FALSE(Command::decode(enc).has_value());
+  enc = c.encode();
+  enc.push_back(0);
+  EXPECT_FALSE(Command::decode(enc).has_value());
+}
+
+TEST(Response, EncodeDecodeRoundTrip) {
+  Response r;
+  r.client = 5;
+  r.seq = 6;
+  r.payload = {9, 9, 9};
+  auto dec = Response::decode(r.encode());
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->client, 5u);
+  EXPECT_EQ(dec->seq, 6u);
+  EXPECT_EQ(dec->payload, (util::Buffer{9, 9, 9}));
+}
+
+TEST(CDep, AlwaysPairsAreSymmetric) {
+  CDep dep;
+  dep.always(1, 2);
+  EXPECT_TRUE(dep.always_conflicts(1, 2));
+  EXPECT_TRUE(dep.always_conflicts(2, 1));
+  EXPECT_FALSE(dep.always_conflicts(1, 3));
+}
+
+TEST(CDep, SameKeyRequiresMatchingKeys) {
+  CDep dep;
+  dep.same_key(kKvUpdate, kKvRead);
+  auto key_of = kvstore::kv_key_fn();
+  Command u1 = make_cmd(kKvUpdate, encode_key_value(7, 1));
+  Command r_same = make_cmd(kKvRead, encode_key(7));
+  Command r_other = make_cmd(kKvRead, encode_key(8));
+  EXPECT_TRUE(dep.conflicts(u1, r_same, key_of));
+  EXPECT_FALSE(dep.conflicts(u1, r_other, key_of));
+}
+
+TEST(CDep, KvCdepMatchesPaperSectionVA) {
+  CDep dep = kvstore::kv_cdep();
+  auto key_of = kvstore::kv_key_fn();
+  Command ins = make_cmd(kKvInsert, encode_key_value(1, 1));
+  Command del = make_cmd(kKvDelete, encode_key(2));
+  Command rd7 = make_cmd(kKvRead, encode_key(7));
+  Command rd7b = make_cmd(kKvRead, encode_key(7), 2, 9);
+  Command up7 = make_cmd(kKvUpdate, encode_key_value(7, 0));
+  Command up8 = make_cmd(kKvUpdate, encode_key_value(8, 0));
+
+  // Inserts and deletes depend on all commands, regardless of key.
+  for (const auto* c : {&del, &rd7, &up7}) {
+    EXPECT_TRUE(dep.conflicts(ins, *c, key_of));
+    EXPECT_TRUE(dep.conflicts(del, *c, key_of));
+  }
+  // Two reads are always independent.
+  EXPECT_FALSE(dep.conflicts(rd7, rd7b, key_of));
+  // Update depends on read/update of the same key only.
+  EXPECT_TRUE(dep.conflicts(up7, rd7, key_of));
+  EXPECT_TRUE(dep.conflicts(up7, up7, key_of));
+  EXPECT_FALSE(dep.conflicts(up7, up8, key_of));
+  EXPECT_FALSE(dep.conflicts(up8, rd7, key_of));
+}
+
+TEST(CDep, VertexCoverPicksOnlyStructuralCommands) {
+  // from_cdep must make insert/delete global but keep read/update keyed —
+  // the paper's exact assignment.  Reads have ALWAYS edges (to insert and
+  // delete) yet must NOT become global: the edge is covered by the other
+  // endpoint.
+  auto cg = kvstore::kv_keyed_cg(8);
+  Command rd = make_cmd(kKvRead, encode_key(5));
+  Command up = make_cmd(kKvUpdate, encode_key_value(5, 0));
+  EXPECT_TRUE(cg->groups(rd).singleton());
+  EXPECT_TRUE(cg->groups(up).singleton());
+  CDep dep = kvstore::kv_cdep();
+  EXPECT_TRUE(dep.has_always_edge(kKvRead));  // edge exists...
+  EXPECT_EQ(dep.always_pairs().size(), 7u);   // ins/del × 4 minus dup pair
+}
+
+TEST(KeyedCg, MatchesPaperSecondExample) {
+  auto cg = kvstore::kv_keyed_cg(8);
+  EXPECT_EQ(cg->mpl(), 8u);
+  // insert/delete -> ALL groups.
+  Command ins = make_cmd(kKvInsert, encode_key_value(3, 1));
+  EXPECT_EQ(cg->groups(ins), multicast::GroupSet::all(8));
+  Command del = make_cmd(kKvDelete, encode_key(3));
+  EXPECT_EQ(cg->groups(del), multicast::GroupSet::all(8));
+  // read/update on the same key -> the same single group.
+  Command rd = make_cmd(kKvRead, encode_key(1234));
+  Command up = make_cmd(kKvUpdate, encode_key_value(1234, 0), 7, 9);
+  auto g1 = cg->groups(rd);
+  auto g2 = cg->groups(up);
+  EXPECT_TRUE(g1.singleton());
+  EXPECT_EQ(g1, g2);
+}
+
+TEST(KeyedCg, DependentCommandsShareAGroup) {
+  // The defining C-G property: any two dependent commands intersect.
+  auto cg = kvstore::kv_keyed_cg(8);
+  auto dep = kvstore::kv_cdep();
+  auto key_of = kvstore::kv_key_fn();
+  util::SplitMix64 rng(5);
+  std::vector<Command> cmds;
+  for (int i = 0; i < 200; ++i) {
+    std::uint64_t k = rng.next_below(64);
+    switch (rng.next_below(4)) {
+      case 0: cmds.push_back(make_cmd(kKvInsert, encode_key_value(k, 0), 1, i)); break;
+      case 1: cmds.push_back(make_cmd(kKvDelete, encode_key(k), 1, i)); break;
+      case 2: cmds.push_back(make_cmd(kKvRead, encode_key(k), 1, i)); break;
+      default: cmds.push_back(make_cmd(kKvUpdate, encode_key_value(k, 0), 1, i)); break;
+    }
+  }
+  for (const auto& a : cmds) {
+    for (const auto& b : cmds) {
+      if (dep.conflicts(a, b, key_of)) {
+        EXPECT_FALSE((cg->groups(a) & cg->groups(b)).empty())
+            << "dependent commands with disjoint groups";
+      }
+    }
+  }
+}
+
+TEST(KeyedCg, SpreadsKeysAcrossGroups) {
+  auto cg = kvstore::kv_keyed_cg(8);
+  std::set<std::uint64_t> groups_seen;
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    Command rd = make_cmd(kKvRead, encode_key(k), 1, k);
+    groups_seen.insert(cg->groups(rd).min());
+  }
+  EXPECT_EQ(groups_seen.size(), 8u);  // 100 keys cover all 8 groups
+}
+
+TEST(CoarseCg, MatchesPaperFirstExample) {
+  auto cg = kvstore::kv_coarse_cg(4);
+  Command rd = make_cmd(kKvRead, encode_key(1), 3, 17);
+  auto g = cg->groups(rd);
+  EXPECT_TRUE(g.singleton());
+  EXPECT_EQ(cg->groups(rd), g);  // deterministic per command
+  Command rd2 = make_cmd(kKvRead, encode_key(1), 3, 18);
+  // Different invocations may hit different groups (pseudo-random spread);
+  // updates always go everywhere.
+  Command up = make_cmd(kKvUpdate, encode_key_value(1, 0));
+  EXPECT_EQ(cg->groups(up), multicast::GroupSet::all(4));
+  Command ins = make_cmd(kKvInsert, encode_key_value(1, 0));
+  EXPECT_EQ(cg->groups(ins), multicast::GroupSet::all(4));
+}
+
+TEST(CoarseCg, ReadSpreadIsRoughlyUniform) {
+  auto cg = kvstore::kv_coarse_cg(8);
+  std::array<int, 8> counts{};
+  for (Seq s = 0; s < 8000; ++s) {
+    Command rd = make_cmd(kKvRead, encode_key(1), s % 100, s);
+    counts[cg->groups(rd).min()]++;
+  }
+  for (int c : counts) EXPECT_NEAR(c, 1000, 250);
+}
+
+TEST(HotAwareCg, PinsHotKeysRoundRobin) {
+  // Paper Section IV-D: known-hot objects assigned to distinct groups.
+  std::vector<std::uint64_t> hot = {100, 200, 300, 400};
+  HotAwareCg cg(4, kvstore::kv_key_fn(),
+                {kvstore::kKvInsert, kvstore::kKvDelete}, hot);
+  for (std::size_t i = 0; i < hot.size(); ++i) {
+    Command rd = make_cmd(kKvRead, encode_key(hot[i]), 1, i);
+    EXPECT_EQ(cg.groups(rd),
+              multicast::GroupSet::single(static_cast<std::uint32_t>(i % 4)));
+  }
+  // Cold keys behave like KeyedCg; global commands still go everywhere.
+  KeyedCg keyed(4, kvstore::kv_key_fn(),
+                {kvstore::kKvInsert, kvstore::kKvDelete});
+  Command cold = make_cmd(kKvRead, encode_key(9999));
+  EXPECT_EQ(cg.groups(cold), keyed.groups(cold));
+  Command ins = make_cmd(kKvInsert, encode_key_value(100, 0));
+  EXPECT_EQ(cg.groups(ins), multicast::GroupSet::all(4));
+}
+
+TEST(HotAwareCg, PreservesDependencyIntersection) {
+  // Same hot key -> same group; hot-key update vs insert still intersect.
+  std::vector<std::uint64_t> hot = {7};
+  HotAwareCg cg(8, kvstore::kv_key_fn(),
+                {kvstore::kKvInsert, kvstore::kKvDelete}, hot);
+  Command rd = make_cmd(kKvRead, encode_key(7), 1, 1);
+  Command up = make_cmd(kKvUpdate, encode_key_value(7, 0), 2, 2);
+  EXPECT_EQ(cg.groups(rd), cg.groups(up));
+  Command del = make_cmd(kKvDelete, encode_key(7));
+  EXPECT_FALSE((cg.groups(rd) & cg.groups(del)).empty());
+}
+
+TEST(Cg, SingleGroupDegenerateCase) {
+  // k = 1: every command maps to group 0 (the SMR configuration).
+  auto cg = kvstore::kv_keyed_cg(1);
+  Command ins = make_cmd(kKvInsert, encode_key_value(3, 1));
+  Command rd = make_cmd(kKvRead, encode_key(9));
+  EXPECT_EQ(cg->groups(ins), multicast::GroupSet::single(0));
+  EXPECT_EQ(cg->groups(rd), multicast::GroupSet::single(0));
+}
+
+}  // namespace
+}  // namespace psmr::smr

@@ -1,0 +1,136 @@
+#include "util/bytes.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace psmr::util {
+namespace {
+
+TEST(Bytes, RoundTripScalars) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.f64(3.14159);
+  w.boolean(true);
+  w.boolean(false);
+
+  Reader r(w.view());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, RoundTripStringsAndBlobs) {
+  Writer w;
+  w.str("hello");
+  w.str("");
+  Buffer blob = {1, 2, 3, 4, 5};
+  w.bytes(blob);
+  w.bytes({});
+
+  Reader r(w.view());
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.bytes(), blob);
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, BytesViewIsZeroCopy) {
+  Writer w;
+  w.bytes(Buffer{9, 8, 7});
+  Buffer data = w.take();
+  Reader r(data);
+  auto view = r.bytes_view();
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view.data(), data.data() + 4);  // after the u32 length prefix
+}
+
+TEST(Bytes, UnderflowThrows) {
+  Writer w;
+  w.u32(7);
+  Reader r(w.view());
+  EXPECT_EQ(r.u32(), 7u);
+  EXPECT_THROW(r.u64(), DecodeError);
+}
+
+TEST(Bytes, TruncatedBlobThrows) {
+  Writer w;
+  w.u32(100);  // claims a 100-byte blob that is not there
+  Reader r(w.view());
+  EXPECT_THROW(r.bytes(), DecodeError);
+}
+
+TEST(Bytes, RawPassthrough) {
+  Writer w;
+  Buffer payload = {0xde, 0xad};
+  w.raw(payload);
+  Reader r(w.view());
+  auto raw = r.raw(2);
+  EXPECT_EQ(raw[0], 0xde);
+  EXPECT_EQ(raw[1], 0xad);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, WriterTakeResets) {
+  Writer w;
+  w.u32(1);
+  Buffer first = w.take();
+  EXPECT_EQ(first.size(), 4u);
+  EXPECT_EQ(w.size(), 0u);
+}
+
+// Property: any sequence of typed writes reads back identically.
+TEST(Bytes, FuzzRoundTrip) {
+  SplitMix64 rng(2024);
+  for (int iter = 0; iter < 200; ++iter) {
+    Writer w;
+    std::vector<int> kinds;
+    std::vector<std::uint64_t> ints;
+    std::vector<std::string> strs;
+    int n = 1 + static_cast<int>(rng.next_below(20));
+    for (int i = 0; i < n; ++i) {
+      int kind = static_cast<int>(rng.next_below(3));
+      kinds.push_back(kind);
+      if (kind == 0) {
+        std::uint64_t v = rng.next();
+        ints.push_back(v);
+        w.u64(v);
+      } else if (kind == 1) {
+        std::string s(rng.next_below(64), 'x');
+        for (auto& c : s) c = static_cast<char>('a' + rng.next_below(26));
+        strs.push_back(s);
+        w.str(s);
+      } else {
+        std::uint64_t v = rng.next();
+        ints.push_back(v);
+        w.u32(static_cast<std::uint32_t>(v));
+      }
+    }
+    Reader r(w.view());
+    std::size_t ii = 0, si = 0;
+    for (int kind : kinds) {
+      if (kind == 0) {
+        EXPECT_EQ(r.u64(), ints[ii++]);
+      } else if (kind == 1) {
+        EXPECT_EQ(r.str(), strs[si++]);
+      } else {
+        EXPECT_EQ(r.u32(), static_cast<std::uint32_t>(ints[ii++]));
+      }
+    }
+    EXPECT_TRUE(r.done());
+  }
+}
+
+}  // namespace
+}  // namespace psmr::util

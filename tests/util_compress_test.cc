@@ -1,0 +1,121 @@
+#include "util/compress.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace psmr::util {
+namespace {
+
+Buffer to_buf(const std::string& s) {
+  return Buffer(s.begin(), s.end());
+}
+
+TEST(Compress, EmptyInput) {
+  auto block = lz_compress({});
+  auto out = lz_decompress(block);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->empty());
+}
+
+TEST(Compress, SmallLiteral) {
+  Buffer in = to_buf("abc");
+  auto out = lz_decompress(lz_compress(in));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, in);
+}
+
+TEST(Compress, RepetitiveDataShrinks) {
+  Buffer in;
+  for (int i = 0; i < 1000; ++i) {
+    const char* chunk = "the quick brown fox jumps over the lazy dog ";
+    for (const char* p = chunk; *p; ++p) in.push_back(*p);
+  }
+  auto block = lz_compress(in);
+  EXPECT_LT(block.size(), in.size() / 4);
+  auto out = lz_decompress(block);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, in);
+}
+
+TEST(Compress, AllSameByte) {
+  Buffer in(100000, 0x42);
+  auto block = lz_compress(in);
+  EXPECT_LT(block.size(), 1000u);  // overlapping match handles runs
+  auto out = lz_decompress(block);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, in);
+}
+
+TEST(Compress, IncompressibleRoundTrips) {
+  SplitMix64 rng(77);
+  Buffer in;
+  for (int i = 0; i < 65536; ++i) {
+    in.push_back(static_cast<std::uint8_t>(rng.next()));
+  }
+  auto block = lz_compress(in);
+  auto out = lz_decompress(block);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, in);
+}
+
+TEST(Compress, RejectsTruncatedBlock) {
+  Buffer in = to_buf("hello hello hello hello hello hello");
+  auto block = lz_compress(in);
+  for (std::size_t cut = 0; cut < block.size(); cut += 3) {
+    Buffer truncated(block.begin(),
+                     block.begin() + static_cast<std::ptrdiff_t>(cut));
+    auto out = lz_decompress(truncated);
+    if (out.has_value()) {
+      // A prefix that happens to decode must not silently produce wrong data.
+      EXPECT_EQ(*out, in);
+    }
+  }
+}
+
+TEST(Compress, RejectsGarbageHeader) {
+  Buffer garbage = {0xff, 0xff, 0xff};
+  EXPECT_FALSE(lz_decompress(garbage).has_value());
+}
+
+// Property sweep: random mixtures of runs and noise at varying sizes.
+class CompressRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CompressRoundTrip, RoundTrips) {
+  SplitMix64 rng(GetParam() * 31 + 1);
+  Buffer in;
+  std::size_t target = GetParam();
+  while (in.size() < target) {
+    if (rng.chance(0.5)) {
+      // Run of a repeated short motif.
+      std::size_t motif_len = 1 + rng.next_below(8);
+      std::size_t repeats = 1 + rng.next_below(50);
+      Buffer motif;
+      for (std::size_t i = 0; i < motif_len; ++i) {
+        motif.push_back(static_cast<std::uint8_t>(rng.next()));
+      }
+      for (std::size_t r = 0; r < repeats; ++r) {
+        in.insert(in.end(), motif.begin(), motif.end());
+      }
+    } else {
+      std::size_t n = 1 + rng.next_below(64);
+      for (std::size_t i = 0; i < n; ++i) {
+        in.push_back(static_cast<std::uint8_t>(rng.next()));
+      }
+    }
+  }
+  in.resize(target);
+  auto out = lz_decompress(lz_compress(in));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, in);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CompressRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 15, 16, 17, 100,
+                                           1024, 4096, 65535, 65536, 65537,
+                                           1 << 18));
+
+}  // namespace
+}  // namespace psmr::util
