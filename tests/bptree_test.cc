@@ -67,7 +67,7 @@ TEST(BPlusTree, DeleteEverythingForwards) {
   for (std::uint64_t k = 0; k < 3000; ++k) t.insert(k, k);
   for (std::uint64_t k = 0; k < 3000; ++k) {
     ASSERT_TRUE(t.erase(k)) << "key " << k;
-    if (k % 257 == 0) ASSERT_TRUE(t.validate()) << "after erasing " << k;
+    if (k % 257 == 0) { ASSERT_TRUE(t.validate()) << "after erasing " << k; }
   }
   EXPECT_TRUE(t.empty());
   EXPECT_EQ(t.height(), 1);
@@ -79,7 +79,7 @@ TEST(BPlusTree, DeleteEverythingBackwards) {
   for (std::uint64_t k = 0; k < 3000; ++k) t.insert(k, k);
   for (std::uint64_t k = 3000; k-- > 0;) {
     ASSERT_TRUE(t.erase(k)) << "key " << k;
-    if (k % 257 == 0) ASSERT_TRUE(t.validate()) << "after erasing " << k;
+    if (k % 257 == 0) { ASSERT_TRUE(t.validate()) << "after erasing " << k; }
   }
   EXPECT_TRUE(t.empty());
 }
@@ -148,7 +148,7 @@ TEST_P(BPlusTreeFuzz, MatchesReferenceModel) {
         auto v = t.find(k);
         auto it = ref.find(k);
         ASSERT_EQ(v.has_value(), it != ref.end()) << "find " << k;
-        if (v) ASSERT_EQ(*v, it->second);
+        if (v) { ASSERT_EQ(*v, it->second); }
         break;
       }
       case 3: {
@@ -161,7 +161,7 @@ TEST_P(BPlusTreeFuzz, MatchesReferenceModel) {
       }
     }
     ASSERT_EQ(t.size(), ref.size());
-    if (step % 2500 == 0) ASSERT_TRUE(t.validate()) << "step " << step;
+    if (step % 2500 == 0) { ASSERT_TRUE(t.validate()) << "step " << step; }
   }
   ASSERT_TRUE(t.validate());
 }

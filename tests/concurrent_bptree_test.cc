@@ -45,7 +45,7 @@ TEST(ConcurrentBPlusTree, SingleThreadMatchesReference) {
         auto v = t.find(k);
         auto it = ref.find(k);
         ASSERT_EQ(v.has_value(), it != ref.end());
-        if (v) ASSERT_EQ(*v, it->second);
+        if (v) { ASSERT_EQ(*v, it->second); }
         break;
       }
       case 3: {
@@ -56,7 +56,7 @@ TEST(ConcurrentBPlusTree, SingleThreadMatchesReference) {
         break;
       }
     }
-    if (step % 2500 == 0) ASSERT_TRUE(t.validate());
+    if (step % 2500 == 0) { ASSERT_TRUE(t.validate()); }
   }
   ASSERT_TRUE(t.validate());
   ASSERT_EQ(t.size(), ref.size());
@@ -87,6 +87,9 @@ TEST(ConcurrentBPlusTree, ParallelReadersDuringWrites) {
   // Writer inserts the odd keys and deletes half the even ones.
   for (std::uint64_t k = 1; k < kKeys; k += 2) ASSERT_TRUE(t.insert(k, k));
   for (std::uint64_t k = 0; k < kKeys; k += 4) ASSERT_TRUE(t.erase(k));
+  // On a small host the writer can finish before the readers were ever
+  // scheduled; keep the tree live until every reader made progress.
+  while (reads.load(std::memory_order_relaxed) < 100) std::this_thread::yield();
   stop = true;
   for (auto& th : readers) th.join();
   EXPECT_GT(reads.load(), 0u);
@@ -140,7 +143,7 @@ TEST(ConcurrentBPlusTree, MixedChaos) {
             break;
           case 2: {
             auto v = t.find(k);
-            if (v) EXPECT_EQ(*v, k * 2);
+            if (v) { EXPECT_EQ(*v, k * 2); }
             break;
           }
           case 3:

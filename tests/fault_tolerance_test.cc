@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "multicast/amcast.h"
+#include "test_support.h"
 #include "transport/network.h"
 
 namespace psmr {
@@ -14,6 +15,7 @@ namespace {
 
 using paxos::Ring;
 using paxos::RingConfig;
+using test_support::fault_ring;
 using transport::Network;
 
 util::Buffer cmd(std::uint64_t id) {
@@ -24,14 +26,6 @@ util::Buffer cmd(std::uint64_t id) {
 
 std::uint64_t cmd_id(const util::Buffer& b) {
   return util::Reader(b).u64();
-}
-
-RingConfig fast(std::size_t acceptors = 3) {
-  RingConfig cfg;
-  cfg.num_acceptors = acceptors;
-  cfg.batch_timeout = std::chrono::microseconds(300);
-  cfg.rto = std::chrono::microseconds(3000);
-  return cfg;
 }
 
 // Drains until `want` commands (in order) or failure.
@@ -56,7 +50,7 @@ TEST_P(AcceptorFailures, ToleratesMinorityCrashes) {
   const std::size_t n = GetParam();
   const std::size_t f = (n - 1) / 2;
   Network net;
-  Ring ring(net, 0, fast(n));
+  Ring ring(net, 0, fault_ring(n));
   auto learner = ring.subscribe();
   ring.start();
   auto [me, mybox] = net.register_node();
@@ -82,7 +76,7 @@ INSTANTIATE_TEST_SUITE_P(Quorums, AcceptorFailures,
 
 TEST(FaultTolerance, MajorityCrashStallsThenRecoveryResumes) {
   Network net;
-  Ring ring(net, 0, fast(3));
+  Ring ring(net, 0, fault_ring(3));
   auto learner = ring.subscribe();
   ring.start();
   auto [me, mybox] = net.register_node();
@@ -107,7 +101,7 @@ TEST(FaultTolerance, MajorityCrashStallsThenRecoveryResumes) {
 
 TEST(FaultTolerance, DropsPlusAcceptorCrash) {
   Network net;
-  Ring ring(net, 0, fast(3));
+  Ring ring(net, 0, fault_ring(3));
   auto learner = ring.subscribe();
   ring.start();
   auto [me, mybox] = net.register_node();
@@ -154,7 +148,7 @@ TEST_P(MergeDeterminism, SameGroupStreamsIdentical) {
   bus.start();
   auto [me, mybox] = net.register_node();
 
-  util::SplitMix64 rng(k * 1000 + 7);
+  util::SplitMix64 rng(test_support::logged_seed(k * 1000 + 7));
   std::vector<std::size_t> per_group(k, 0);
   std::size_t shared = 0;
   constexpr std::size_t kMessages = 400;

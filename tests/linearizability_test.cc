@@ -20,13 +20,13 @@
 
 #include "kvstore/kv_client.h"
 #include "smr/runtime.h"
+#include "test_support.h"
 #include "util/clock.h"
 
 namespace psmr::smr {
 namespace {
 
 using kvstore::KvClient;
-using kvstore::KvService;
 
 struct ReadRecord {
   std::int64_t invoked_us;
@@ -38,16 +38,9 @@ class PsmrLinearizability : public ::testing::TestWithParam<int> {};
 
 TEST_P(PsmrLinearizability, SequentialWriterConcurrentReaders) {
   const int mpl = GetParam();
-  DeploymentConfig cfg;
-  cfg.mode = Mode::kPsmr;
-  cfg.mpl = static_cast<std::size_t>(mpl);
-  cfg.replicas = 2;
-  cfg.ring.batch_timeout = std::chrono::microseconds(500);
-  cfg.ring.skip_interval = std::chrono::microseconds(1500);
-  cfg.service_factory = [] { return std::make_unique<KvService>(16); };
-  cfg.cg_factory = [](std::size_t k) { return kvstore::kv_keyed_cg(k); };
-  Deployment d(std::move(cfg));
-  d.start();
+  test_support::Cluster cluster(test_support::kv_config(
+      Mode::kPsmr, static_cast<std::size_t>(mpl), /*initial_keys=*/16));
+  Deployment& d = cluster.deployment();
 
   constexpr std::uint64_t kKey = 5;
   constexpr std::uint64_t kWrites = 60;
@@ -118,7 +111,6 @@ TEST_P(PsmrLinearizability, SequentialWriterConcurrentReaders) {
     }
   }
   EXPECT_EQ(d.state_digest(0), d.state_digest(1));
-  d.stop();
 }
 
 INSTANTIATE_TEST_SUITE_P(Mpl, PsmrLinearizability, ::testing::Values(1, 4, 8),

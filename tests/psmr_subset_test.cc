@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "smr/runtime.h"
+#include "test_support.h"
 #include "util/hash.h"
 #include "util/rng.h"
 
@@ -103,8 +104,7 @@ Deployment make_deployment(std::size_t mpl, std::uint64_t slots) {
   cfg.mode = Mode::kPsmr;
   cfg.mpl = mpl;
   cfg.replicas = 2;
-  cfg.ring.batch_timeout = std::chrono::microseconds(500);
-  cfg.ring.skip_interval = std::chrono::microseconds(1500);
+  cfg.ring = test_support::fast_ring();
   cfg.service_factory = [slots] {
     return std::make_unique<SlotService>(slots);
   };
@@ -169,19 +169,19 @@ TEST(PsmrSubset, OverlappingSubsetChainsDoNotDeadlock) {
   auto d = make_deployment(4, 16);
   d.start();
   constexpr int kThreads = 4;
-  std::vector<std::thread> drivers;
-  for (int t = 0; t < kThreads; ++t) {
-    drivers.emplace_back([&, t] {
-      SlotClient c{d.make_client()};
-      for (int i = 0; i < 40; ++i) {
-        std::uint64_t a = static_cast<std::uint64_t>((t + i) % 4);
-        std::uint64_t b = static_cast<std::uint64_t>((t + i + 1) % 4);
-        c.swap(a, b);
-        if (i % 10 == 0) c.total();
-      }
-    });
-  }
-  for (auto& t : drivers) t.join();
+  test_support::Barrier start(kThreads);
+  test_support::run_threads(kThreads, [&](int t) {
+    // Launch the chains in lock-step so the overlapping destination pairs
+    // really are in flight together.
+    start.arrive_and_wait();
+    SlotClient c{d.make_client()};
+    for (int i = 0; i < 40; ++i) {
+      std::uint64_t a = static_cast<std::uint64_t>((t + i) % 4);
+      std::uint64_t b = static_cast<std::uint64_t>((t + i + 1) % 4);
+      c.swap(a, b);
+      if (i % 10 == 0) c.total();
+    }
+  });
   SlotClient c{d.make_client()};
   EXPECT_EQ(c.total(), 0);  // swaps of zeros stay zero: liveness is the test
   EXPECT_EQ(d.state_digest(0), d.state_digest(1));
@@ -196,17 +196,14 @@ TEST(PsmrSubset, SwapConservesSum) {
     SlotClient init{d.make_client()};
     for (std::uint64_t s = 0; s < 32; ++s) init.set(s, 100);
   }
-  std::vector<std::thread> drivers;
-  for (int t = 0; t < 3; ++t) {
-    drivers.emplace_back([&, t] {
-      SlotClient c{d.make_client()};
-      util::SplitMix64 rng(t + 7);
-      for (int i = 0; i < 50; ++i) {
-        c.swap(rng.next_below(32), rng.next_below(32));
-      }
-    });
-  }
-  for (auto& t : drivers) t.join();
+  const std::uint64_t seed = test_support::logged_seed(7);
+  test_support::run_threads(3, [&](int t) {
+    SlotClient c{d.make_client()};
+    util::SplitMix64 rng(seed + static_cast<std::uint64_t>(t));
+    for (int i = 0; i < 50; ++i) {
+      c.swap(rng.next_below(32), rng.next_below(32));
+    }
+  });
   SlotClient c{d.make_client()};
   EXPECT_EQ(c.total(), 3200);
   EXPECT_EQ(d.state_digest(0), d.state_digest(1));

@@ -7,57 +7,16 @@
 
 #include "kvstore/kv_client.h"
 #include "smr/runtime.h"
+#include "test_support.h"
 #include "util/rng.h"
 
 namespace psmr::smr {
 namespace {
 
 using kvstore::KvClient;
-using kvstore::KvService;
 using kvstore::kKvOk;
-
-paxos::RingConfig fast_ring() {
-  paxos::RingConfig ring;
-  // This host runs the whole system on very few cores; a too-aggressive
-  // skip rate floods it (every idle ring decides a skip, and P-SMR at
-  // mpl=8 runs nine rings).  These values keep latency low without
-  // saturating the scheduler.
-  ring.batch_timeout = std::chrono::microseconds(500);
-  ring.skip_interval = std::chrono::microseconds(1500);
-  ring.rto = std::chrono::microseconds(10000);
-  return ring;
-}
-
-DeploymentConfig kv_config(Mode mode, std::size_t mpl,
-                           std::uint64_t initial_keys = 0) {
-  DeploymentConfig cfg;
-  cfg.mode = mode;
-  cfg.mpl = mpl;
-  cfg.replicas = 2;
-  cfg.ring = fast_ring();
-  cfg.service_factory = [initial_keys] {
-    return std::make_unique<KvService>(initial_keys);
-  };
-  cfg.shared_service_factory = [initial_keys]() -> std::shared_ptr<Service> {
-    return std::make_shared<kvstore::ConcurrentKvService>(initial_keys);
-  };
-  cfg.cg_factory = [](std::size_t k) { return kvstore::kv_keyed_cg(k); };
-  return cfg;
-}
-
-// Waits until every service instance has executed >= n commands.
-void wait_executed(Deployment& d, std::uint64_t n,
-                   std::chrono::seconds timeout = std::chrono::seconds(10)) {
-  auto deadline = std::chrono::steady_clock::now() + timeout;
-  while (std::chrono::steady_clock::now() < deadline) {
-    bool all = true;
-    for (std::size_t i = 0; i < d.num_services(); ++i) {
-      if (d.executed(i) < n) all = false;
-    }
-    if (all) return;
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
-  }
-}
+using test_support::kv_config;
+using test_support::wait_executed;
 
 class AllModes : public ::testing::TestWithParam<Mode> {};
 
@@ -84,34 +43,33 @@ TEST_P(AllModes, ManyClientsMixedWorkloadConverges) {
 
   constexpr int kClients = 4;
   constexpr int kOpsPerClient = 150;
-  std::vector<std::thread> drivers;
+  const std::uint64_t seed = test_support::logged_seed(100);
   std::atomic<int> failures{0};
-  for (int c = 0; c < kClients; ++c) {
-    drivers.emplace_back([&, c] {
-      KvClient client(d.make_client());
-      util::SplitMix64 rng(100 + c);
-      for (int i = 0; i < kOpsPerClient; ++i) {
-        std::uint64_t k = rng.next_below(256);
-        switch (rng.next_below(10)) {
-          case 0:
-            client.insert(256 + rng.next_below(64), k);
-            break;
-          case 1:
-            client.erase(256 + rng.next_below(64));
-            break;
-          case 2:
-          case 3:
-          case 4:
-            if (client.update(k, rng.next()) != kKvOk) failures++;
-            break;
-          default:
-            client.read(k);
-            break;
-        }
+  test_support::Barrier start(kClients);
+  test_support::run_threads(kClients, [&](int c) {
+    start.arrive_and_wait();  // all clients drive the mixed load together
+    KvClient client(d.make_client());
+    util::SplitMix64 rng(seed + static_cast<std::uint64_t>(c));
+    for (int i = 0; i < kOpsPerClient; ++i) {
+      std::uint64_t k = rng.next_below(256);
+      switch (rng.next_below(10)) {
+        case 0:
+          client.insert(256 + rng.next_below(64), k);
+          break;
+        case 1:
+          client.erase(256 + rng.next_below(64));
+          break;
+        case 2:
+        case 3:
+        case 4:
+          if (client.update(k, rng.next()) != kKvOk) failures++;
+          break;
+        default:
+          client.read(k);
+          break;
       }
-    });
-  }
-  for (auto& t : drivers) t.join();
+    }
+  });
   EXPECT_EQ(failures.load(), 0);  // preloaded keys always updatable
 
   // All replicas must converge to identical state.
@@ -145,23 +103,20 @@ TEST(Psmr, ReplicasConvergeUnderStructuralChurn) {
   Deployment d(kv_config(Mode::kPsmr, 8, /*initial_keys=*/512));
   d.start();
   constexpr int kClients = 6;
-  std::vector<std::thread> drivers;
-  for (int c = 0; c < kClients; ++c) {
-    drivers.emplace_back([&, c] {
-      KvClient client(d.make_client());
-      util::SplitMix64 rng(7 + c);
-      for (int i = 0; i < 120; ++i) {
-        std::uint64_t k = rng.next_below(700);
-        switch (rng.next_below(4)) {
-          case 0: client.insert(k, k); break;
-          case 1: client.erase(k); break;
-          case 2: client.update(k % 512, i); break;
-          default: client.read(k); break;
-        }
+  const std::uint64_t seed = test_support::logged_seed(7);
+  test_support::run_threads(kClients, [&](int c) {
+    KvClient client(d.make_client());
+    util::SplitMix64 rng(seed + static_cast<std::uint64_t>(c));
+    for (int i = 0; i < 120; ++i) {
+      std::uint64_t k = rng.next_below(700);
+      switch (rng.next_below(4)) {
+        case 0: client.insert(k, k); break;
+        case 1: client.erase(k); break;
+        case 2: client.update(k % 512, i); break;
+        default: client.read(k); break;
       }
-    });
-  }
-  for (auto& t : drivers) t.join();
+    }
+  });
   wait_executed(d, kClients * 120);
   EXPECT_EQ(d.state_digest(0), d.state_digest(1));
   d.stop();

@@ -1,0 +1,96 @@
+#include "test_support.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+
+#include "kvstore/kv_service.h"
+
+namespace psmr::test_support {
+
+std::uint64_t test_seed(std::uint64_t base) {
+  if (const char* env = std::getenv("PSMR_TEST_SEED")) {
+    char* end = nullptr;
+    std::uint64_t v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') return v;
+  }
+  return base;
+}
+
+std::uint64_t logged_seed(std::uint64_t base) {
+  std::uint64_t seed = test_seed(base);
+  ::testing::Test::RecordProperty("psmr_seed", std::to_string(seed));
+  std::fprintf(stderr, "[ seed     ] PSMR_TEST_SEED=%llu\n",
+               static_cast<unsigned long long>(seed));
+  return seed;
+}
+
+paxos::RingConfig fast_ring(std::size_t num_acceptors) {
+  paxos::RingConfig ring;
+  ring.num_acceptors = num_acceptors;
+  ring.batch_timeout = std::chrono::microseconds(500);
+  ring.skip_interval = std::chrono::microseconds(1500);
+  ring.rto = std::chrono::microseconds(10000);
+  return ring;
+}
+
+paxos::RingConfig fault_ring(std::size_t num_acceptors) {
+  paxos::RingConfig ring;
+  ring.num_acceptors = num_acceptors;
+  ring.batch_timeout = std::chrono::microseconds(300);
+  ring.rto = std::chrono::microseconds(3000);
+  return ring;
+}
+
+smr::DeploymentConfig kv_config(smr::Mode mode, std::size_t mpl,
+                                std::uint64_t initial_keys,
+                                std::size_t replicas) {
+  smr::DeploymentConfig cfg;
+  cfg.mode = mode;
+  cfg.mpl = mpl;
+  cfg.replicas = replicas;
+  cfg.ring = fast_ring();
+  cfg.service_factory = [initial_keys] {
+    return std::make_unique<kvstore::KvService>(initial_keys);
+  };
+  cfg.shared_service_factory =
+      [initial_keys]() -> std::shared_ptr<smr::Service> {
+    return std::make_shared<kvstore::ConcurrentKvService>(initial_keys);
+  };
+  cfg.cg_factory = [](std::size_t k) { return kvstore::kv_keyed_cg(k); };
+  return cfg;
+}
+
+void wait_executed(smr::Deployment& d, std::uint64_t n,
+                   std::chrono::seconds timeout) {
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    bool all = true;
+    for (std::size_t i = 0; i < d.num_services(); ++i) {
+      if (d.executed(i) < n) all = false;
+    }
+    if (all) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+void run_threads(int n, const std::function<void(int)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads.emplace_back([&fn, i] {
+      try {
+        fn(i);
+      } catch (const std::exception& e) {
+        ADD_FAILURE() << "driver thread " << i << " threw: " << e.what();
+      } catch (...) {
+        ADD_FAILURE() << "driver thread " << i << " threw a non-std exception";
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace psmr::test_support

@@ -1,0 +1,108 @@
+// Shared test infrastructure for the P-SMR suites.
+//
+// Consolidates the cluster-bring-up boilerplate that was copy-pasted across
+// the integration suites: ring configs tuned for a small test host, KV
+// deployment configs for every mode, an RAII in-process cluster fixture
+// (coordinator + acceptors + replicas), deterministic-seed helpers for the
+// randomized stress tests, and schedule/barrier helpers for multi-threaded
+// drivers.
+#pragma once
+
+#include <barrier>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "smr/runtime.h"
+
+namespace psmr::test_support {
+
+// ---------------------------------------------------------------------------
+// Deterministic seeds.
+//
+// Every randomized test must seed its SplitMix64 from test_seed() (or a
+// literal).  The default is fixed so two runs of the same binary produce
+// identical results; PSMR_TEST_SEED=<n> in the environment overrides it for
+// exploratory fuzzing.  logged_seed() additionally records the seed in the
+// GoogleTest XML output and prints it, so a failing stress run names the
+// seed that reproduces it.
+// ---------------------------------------------------------------------------
+
+/// The seed for this test run: `base` unless PSMR_TEST_SEED is set.
+std::uint64_t test_seed(std::uint64_t base = 42);
+
+/// test_seed(), but recorded as a test property and printed to stderr.
+/// Use in intentionally-randomized stress tests.
+std::uint64_t logged_seed(std::uint64_t base = 42);
+
+// ---------------------------------------------------------------------------
+// Ring / deployment configuration.
+// ---------------------------------------------------------------------------
+
+/// Ring tuning for tests.  This host runs the whole system on very few
+/// cores; a too-aggressive skip rate floods it (every idle ring decides a
+/// skip, and P-SMR at mpl=8 runs nine rings).  These values keep latency low
+/// without saturating the scheduler.
+paxos::RingConfig fast_ring(std::size_t num_acceptors = 3);
+
+/// Ring tuning for the fault-injection suites: small batch timeout and an
+/// aggressive retransmission timer so drop/crash recovery is quick.
+paxos::RingConfig fault_ring(std::size_t num_acceptors = 3);
+
+/// A complete KV deployment config: fast_ring(), KvService /
+/// ConcurrentKvService factories preloaded with `initial_keys`, and the
+/// keyed C-G function.
+smr::DeploymentConfig kv_config(smr::Mode mode, std::size_t mpl,
+                                std::uint64_t initial_keys = 0,
+                                std::size_t replicas = 2);
+
+/// Blocks until every service instance has executed >= n commands (or the
+/// timeout elapses; the caller's subsequent assertions catch a timeout).
+void wait_executed(smr::Deployment& d, std::uint64_t n,
+                   std::chrono::seconds timeout = std::chrono::seconds(10));
+
+/// RAII in-process cluster: builds the Deployment (coordinator, acceptors,
+/// learners, replicas), starts it on construction and stops it on
+/// destruction, so a test that ASSERTs mid-body still joins every thread.
+class Cluster {
+ public:
+  explicit Cluster(smr::DeploymentConfig cfg) : d_(std::move(cfg)) {
+    d_.start();
+  }
+  ~Cluster() { d_.stop(); }
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  smr::Deployment& deployment() { return d_; }
+  smr::Deployment* operator->() { return &d_; }
+  smr::Deployment& operator*() { return d_; }
+
+ private:
+  smr::Deployment d_;
+};
+
+/// Cluster pre-wired with the KV service (the common case).
+class KvCluster : public Cluster {
+ public:
+  explicit KvCluster(smr::Mode mode, std::size_t mpl,
+                     std::uint64_t initial_keys = 0, std::size_t replicas = 2)
+      : Cluster(kv_config(mode, mpl, initial_keys, replicas)) {}
+};
+
+// ---------------------------------------------------------------------------
+// Schedule helpers.
+// ---------------------------------------------------------------------------
+
+/// Reusable cyclic barrier for lock-step thread schedules.  Arrive at the
+/// barrier *before* doing anything that can throw (client construction,
+/// assertions): a party that fails to arrive would block the rest forever.
+using Barrier = std::barrier<>;
+
+/// Runs fn(0..n-1) on n threads and joins them all, even if fn throws
+/// a GoogleTest fatal-failure exception on some thread.
+void run_threads(int n, const std::function<void(int)>& fn);
+
+}  // namespace psmr::test_support

@@ -1,0 +1,131 @@
+// Coverage for the closed-loop workload driver (src/workload/driver.*):
+// windowed rate control, key-distribution sampling, accounting, and clean
+// shutdown (drained proxies, joined threads, reusable deployment).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "test_support.h"
+#include "util/rng.h"
+#include "workload/driver.h"
+
+namespace psmr::workload {
+namespace {
+
+KvWorkloadSpec quick_spec(std::uint64_t keys) {
+  KvWorkloadSpec spec;
+  spec.clients = 2;
+  spec.window = 8;
+  spec.warmup_s = 0.05;
+  spec.duration_s = 0.25;
+  spec.keys = keys;
+  spec.seed = test_support::test_seed(42);
+  return spec;
+}
+
+TEST(WorkloadDriver, ClosedLoopCompletesAndAccounts) {
+  test_support::KvCluster cluster(smr::Mode::kPsmr, 2, /*initial_keys=*/256);
+  auto spec = quick_spec(256);
+  auto res = run_kv_workload(cluster.deployment(), spec);
+
+  EXPECT_GT(res.completed, 0u);
+  EXPECT_GT(res.kcps, 0.0);
+  EXPECT_GT(res.avg_latency_us, 0.0);
+  EXPECT_GE(res.p99_latency_us, res.avg_latency_us);
+  // The histogram holds exactly the completions counted in the window.
+  EXPECT_EQ(res.latency.count(), res.completed);
+  // Every measured completion was really executed by the replicas.
+  for (std::size_t i = 0; i < cluster->num_services(); ++i) {
+    EXPECT_GE(cluster->executed(i), res.completed);
+  }
+}
+
+TEST(WorkloadDriver, WindowBoundsOutstandingCommands) {
+  // Rate control: a closed loop with c clients and window w keeps at most
+  // c*w commands outstanding, so by Little's law measured throughput can't
+  // exceed outstanding / avg_latency.
+  test_support::KvCluster cluster(smr::Mode::kPsmr, 2, /*initial_keys=*/128);
+  auto spec = quick_spec(128);
+  spec.clients = 2;
+  spec.window = 4;
+  auto res = run_kv_workload(cluster.deployment(), spec);
+  ASSERT_GT(res.completed, 0u);
+  double outstanding_bound = static_cast<double>(spec.clients * spec.window);
+  double little = res.kcps * 1e3 * (res.avg_latency_us / 1e6);
+  EXPECT_LE(little, outstanding_bound * 1.25);  // 25% timing slack
+}
+
+TEST(WorkloadDriver, MixedWorkloadKeepsReplicasConverged) {
+  test_support::KvCluster cluster(smr::Mode::kPsmr, 2, /*initial_keys=*/128);
+  auto spec = quick_spec(128);
+  spec.mix.read_pct = 50;
+  spec.mix.update_pct = 30;
+  spec.mix.insert_pct = 10;
+  spec.mix.delete_pct = 10;
+  auto res = run_kv_workload(cluster.deployment(), spec);
+  EXPECT_GT(res.completed, 0u);
+  // run_kv_workload drains every proxy before returning; once the slower
+  // replica catches up to the faster one, the digests must match.
+  auto executed0 = cluster->executed(0);
+  test_support::wait_executed(cluster.deployment(), executed0);
+  EXPECT_EQ(cluster->state_digest(0), cluster->state_digest(1));
+}
+
+TEST(WorkloadDriver, ZipfSamplingIsSkewedAndInRange) {
+  // The driver's key selection uses util::Zipf; rank 0 must dominate and
+  // every sample must stay inside the key space.
+  util::SplitMix64 rng(test_support::test_seed(42));
+  constexpr std::uint64_t kKeys = 10'000;
+  util::Zipf zipf(kKeys, 1.0);
+  std::map<std::uint64_t, std::uint64_t> freq;
+  constexpr int kSamples = 20'000;
+  for (int i = 0; i < kSamples; ++i) {
+    std::uint64_t k = zipf.sample(rng);
+    ASSERT_LT(k, kKeys);
+    ++freq[k];
+  }
+  // Zipf(1): p(rank) ~ 1/(rank+1); rank 0 beats rank 99 by ~100x.
+  EXPECT_GT(freq[0], freq[99] * 10);
+  // ...but the tail is still sampled: a uniform sampler would put ~half the
+  // mass above the median key, Zipf(1) puts almost none there.
+  std::uint64_t above_median = 0;
+  for (const auto& [k, n] : freq) {
+    if (k >= kKeys / 2) above_median += n;
+  }
+  EXPECT_LT(above_median, kSamples / 10);
+}
+
+TEST(WorkloadDriver, ZipfWorkloadRunsEndToEnd) {
+  test_support::KvCluster cluster(smr::Mode::kPsmr, 2, /*initial_keys=*/512);
+  auto spec = quick_spec(512);
+  spec.zipf = true;
+  auto res = run_kv_workload(cluster.deployment(), spec);
+  EXPECT_GT(res.completed, 0u);
+}
+
+TEST(WorkloadDriver, ShutdownDrainsAndDeploymentIsReusable) {
+  // After run_kv_workload returns, all driver threads have joined and all
+  // proxies are drained: a second run on the same deployment and an
+  // immediate stop must both work.
+  test_support::KvCluster cluster(smr::Mode::kPsmr, 2, /*initial_keys=*/64);
+  auto spec = quick_spec(64);
+  spec.duration_s = 0.1;
+  auto first = run_kv_workload(cluster.deployment(), spec);
+  auto second = run_kv_workload(cluster.deployment(), spec);
+  EXPECT_GT(first.completed, 0u);
+  EXPECT_GT(second.completed, 0u);
+  cluster->stop();  // explicit early stop; the fixture's stop is idempotent
+}
+
+TEST(WorkloadDriver, ProcessCpuCounterIsMonotonic) {
+  std::int64_t a = process_cpu_us();
+  // Burn a little CPU so the counter visibly advances.
+  volatile std::uint64_t sink = 0;
+  for (int i = 0; i < 2'000'000; ++i) sink = sink + static_cast<std::uint64_t>(i);
+  std::int64_t b = process_cpu_us();
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace psmr::workload
