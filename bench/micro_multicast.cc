@@ -1,8 +1,22 @@
 // Micro-benchmarks for the real atomic-multicast stack: end-to-end
-// submit→deliver throughput through one Paxos ring, and the effect of the
-// 8 KB batch bound (the ablation DESIGN.md calls out).  Runs the real
-// protocol threads, so absolute numbers depend on the host's core count.
+// submit→deliver throughput through one Paxos ring, the effect of the 8 KB
+// batch bound, and — the batching headline — paced mpl-4 traffic with the
+// fixed-timeout batcher vs the adaptive one.  Runs the real protocol
+// threads, so absolute numbers depend on the host's core count.
+//
+// Besides the usual Google Benchmark output, `--json <path>` writes a
+// machine-readable summary (decided batches, mean commands per batch,
+// ns per command) per benchmark, so CI and future PRs can track the
+// batching trajectory:
+//   bench_micro_multicast --json BENCH_multicast.json
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "multicast/amcast.h"
 #include "transport/network.h"
@@ -10,6 +24,86 @@
 namespace {
 
 using namespace psmr;
+
+// ---------------------------------------------------------------------------
+// JSON summary collection (--json <path>).
+// ---------------------------------------------------------------------------
+
+struct BenchRecord {
+  std::string name;
+  std::uint64_t commands = 0;
+  std::uint64_t decided_batches = 0;
+  std::uint64_t decided_skips = 0;
+  double cmds_per_batch = 0.0;
+  double ns_per_cmd = 0.0;
+  std::uint64_t batch_timeout_us = 0;
+};
+
+std::vector<BenchRecord>& records() {
+  static std::vector<BenchRecord> r;
+  return r;
+}
+
+// Records one benchmark's summary, replacing any earlier entry with the
+// same name: Google Benchmark re-invokes un-pinned benchmarks while
+// calibrating the iteration count, and only the final (fully measured)
+// run should land in the JSON.
+void record(std::string name, std::uint64_t commands,
+            const paxos::CoordinatorStats& s,
+            std::chrono::steady_clock::duration elapsed) {
+  BenchRecord r;
+  r.name = std::move(name);
+  r.commands = commands;
+  r.decided_batches = s.decided_batches;
+  r.decided_skips = s.decided_skips;
+  r.cmds_per_batch = s.mean_commands_per_batch();
+  r.ns_per_cmd =
+      commands == 0
+          ? 0.0
+          : static_cast<double>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                    .count()) /
+                static_cast<double>(commands);
+  r.batch_timeout_us = s.batch_timeout_us;
+  for (auto& existing : records()) {
+    if (existing.name == r.name) {
+      existing = std::move(r);
+      return;
+    }
+  }
+  records().push_back(std::move(r));
+}
+
+void write_json(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "micro_multicast: cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"micro_multicast\",\n  \"results\": [\n");
+  for (std::size_t i = 0; i < records().size(); ++i) {
+    const auto& r = records()[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"commands\": %llu, "
+                 "\"decided_batches\": %llu, \"decided_skips\": %llu, "
+                 "\"cmds_per_batch\": %.2f, \"ns_per_cmd\": %.1f, "
+                 "\"batch_timeout_us\": %llu}%s\n",
+                 r.name.c_str(), static_cast<unsigned long long>(r.commands),
+                 static_cast<unsigned long long>(r.decided_batches),
+                 static_cast<unsigned long long>(r.decided_skips),
+                 r.cmds_per_batch, r.ns_per_cmd,
+                 static_cast<unsigned long long>(r.batch_timeout_us),
+                 i + 1 < records().size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "micro_multicast: wrote %s (%zu results)\n",
+               path.c_str(), records().size());
+}
+
+// ---------------------------------------------------------------------------
+// Benchmarks.
+// ---------------------------------------------------------------------------
 
 void BM_RingThroughput(benchmark::State& state) {
   transport::Network net;
@@ -27,6 +121,7 @@ void BM_RingThroughput(benchmark::State& state) {
 
   std::uint64_t delivered = 0;
   std::uint64_t submitted = 0;
+  auto started = std::chrono::steady_clock::now();
   for (auto _ : state) {
     // Keep a pipeline of ~512 outstanding commands.
     while (submitted - delivered < 512) {
@@ -40,7 +135,12 @@ void BM_RingThroughput(benchmark::State& state) {
       if (submitted - delivered < 256) break;
     }
   }
+  auto elapsed = std::chrono::steady_clock::now() - started;
   state.SetItemsProcessed(static_cast<std::int64_t>(delivered));
+  auto s = ring.stats();
+  state.counters["cmds_per_batch"] = s.mean_commands_per_batch();
+  record("RingThroughput/" + std::to_string(state.range(0)), delivered, s,
+         elapsed);
   ring.stop();
   net.shutdown();
 }
@@ -86,6 +186,108 @@ BENCHMARK(BM_BusMulticastSingleGroup)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(300);
 
+// Paced mpl-4 traffic, fixed-timeout batcher (arg 0) vs adaptive (arg 1):
+// 4 worker rings each fed one command every ~300us — a trickle that never
+// fills a batch, which is exactly where adaptive timeouts earn their keep
+// by stretching the wait and coalescing many commands per consensus
+// instance.  The headline counter is cmds_per_batch, from the real
+// CoordinatorStats of the worker rings (skips excluded).
+void BM_BusPacedMpl4(benchmark::State& state) {
+  const bool adaptive = state.range(0) != 0;
+  constexpr std::size_t kGroups = 4;
+  constexpr auto kGap = std::chrono::microseconds(300);
+
+  transport::Network net;
+  multicast::BusConfig cfg;
+  cfg.num_groups = kGroups;
+  cfg.ring.batch_timeout = std::chrono::microseconds(150);
+  cfg.ring.skip_interval = std::chrono::microseconds(1500);
+  if (adaptive) {
+    cfg.ring.adaptive_batching = true;
+    cfg.ring.min_batch_timeout = std::chrono::microseconds(100);
+    cfg.ring.max_batch_timeout = std::chrono::microseconds(8000);
+  }
+  multicast::Bus bus(net, cfg);
+  std::vector<std::unique_ptr<multicast::MergeDeliverer>> subs;
+  for (multicast::GroupId g = 0; g < kGroups; ++g) {
+    subs.push_back(bus.subscribe(g));
+  }
+  bus.start();
+  std::vector<transport::NodeId> senders;
+  std::vector<std::shared_ptr<transport::Mailbox>> boxes;
+  for (std::size_t g = 0; g < kGroups; ++g) {
+    auto [node, box] = net.register_node();
+    senders.push_back(node);
+    boxes.push_back(std::move(box));
+  }
+
+  util::Writer w;
+  w.u64(7);
+  util::Buffer msg = w.take();
+
+  // One iteration = one paced command to each of the 4 worker rings.
+  std::uint64_t submitted_per_group = 0;
+  auto started = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    for (std::size_t g = 0; g < kGroups; ++g) {
+      bus.multicast(senders[g], multicast::GroupSet::single(
+                                    static_cast<multicast::GroupId>(g)),
+                    msg);
+    }
+    ++submitted_per_group;
+    std::this_thread::sleep_for(kGap);
+  }
+  // Drain everything so the stats cover the full run.
+  std::uint64_t delivered = 0;
+  for (auto& sub : subs) {
+    for (std::uint64_t i = 0; i < submitted_per_group; ++i) {
+      auto d = sub->next();
+      if (!d) break;
+      ++delivered;
+    }
+  }
+  auto elapsed = std::chrono::steady_clock::now() - started;
+
+  paxos::CoordinatorStats s;
+  for (multicast::GroupId g = 0; g < kGroups; ++g) s += bus.ring_stats(g);
+  state.SetItemsProcessed(static_cast<std::int64_t>(delivered));
+  state.counters["cmds_per_batch"] = s.mean_commands_per_batch();
+  state.counters["batch_timeout_us"] =
+      static_cast<double>(s.batch_timeout_us);
+  record(adaptive ? "BusPacedMpl4/adaptive" : "BusPacedMpl4/fixed", delivered,
+         s, elapsed);
+  bus.stop();
+  net.shutdown();
+}
+// Fixed iteration count: the loop sleeps by design (paced open-loop load),
+// so Google Benchmark's adaptive iteration search would run for minutes.
+BENCHMARK(BM_BusPacedMpl4)
+    ->Arg(0)
+    ->Arg(1)
+    ->Iterations(400)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: strip `--json <path>` (ours) before Google Benchmark sees
+// the command line, run the benchmarks, then write the summary.
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+      json_path = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!json_path.empty()) write_json(json_path);
+  return 0;
+}

@@ -4,6 +4,35 @@
 
 namespace psmr::multicast {
 
+bool SubmitCoalescer::submit(transport::NodeId from, util::Buffer message) {
+  std::unique_lock lock(mu_);
+  queue_.push_back(std::move(message));
+  if (flushing_) {
+    // An active flusher will pick this command up on its next drain pass;
+    // it rides along in that flusher's SUBMIT_MANY.
+    ++stats_.piggybacked;
+    return true;
+  }
+  flushing_ = true;
+  bool ok = true;
+  while (!queue_.empty()) {
+    std::vector<util::Buffer> burst;
+    burst.swap(queue_);
+    const std::size_t n = burst.size();
+    stats_.flushes += 1;
+    stats_.flushed_commands += n;
+    lock.unlock();
+    bool sent = ring_.submit_many(from, std::move(burst));
+    lock.lock();
+    if (!sent) {
+      stats_.failed_flush_commands += n;
+      ok = false;
+    }
+  }
+  flushing_ = false;
+  return ok;
+}
+
 Bus::Bus(transport::Network& net, BusConfig cfg)
     : net_(net), cfg_(std::move(cfg)) {
   const bool merging = cfg_.num_groups > 1;
@@ -25,6 +54,14 @@ Bus::Bus(transport::Network& net, BusConfig cfg)
     shared_ring_ = std::make_unique<paxos::Ring>(
         net_, static_cast<paxos::RingId>(cfg_.num_groups), ring_cfg);
   }
+  if (cfg_.coalesce_submits) {
+    for (auto& r : rings_) {
+      coalescers_.push_back(std::make_unique<SubmitCoalescer>(*r));
+    }
+    if (shared_ring_) {
+      coalescers_.push_back(std::make_unique<SubmitCoalescer>(*shared_ring_));
+    }
+  }
 }
 
 void Bus::start() {
@@ -37,17 +74,27 @@ void Bus::stop() {
   if (shared_ring_) shared_ring_->stop();
 }
 
+bool Bus::submit_to(std::size_t ring_index, transport::NodeId from,
+                    util::Buffer message) {
+  if (ring_index < coalescers_.size()) {
+    return coalescers_[ring_index]->submit(from, std::move(message));
+  }
+  paxos::Ring& ring = ring_index < rings_.size() ? *rings_[ring_index]
+                                                 : *shared_ring_;
+  return ring.submit(from, std::move(message));
+}
+
 bool Bus::multicast(transport::NodeId from, GroupSet groups,
                     util::Buffer message) {
   if (groups.empty()) return false;
   if (groups.singleton()) {
-    return rings_.at(groups.min())->submit(from, std::move(message));
+    return submit_to(groups.min(), from, std::move(message));
   }
   if (shared_ring_) {
-    return shared_ring_->submit(from, std::move(message));
+    return submit_to(rings_.size(), from, std::move(message));
   }
   // k == 1 deployments: "all groups" is just group 0.
-  return rings_.at(0)->submit(from, std::move(message));
+  return submit_to(0, from, std::move(message));
 }
 
 std::unique_ptr<MergeDeliverer> Bus::subscribe(GroupId group) {
@@ -58,16 +105,31 @@ std::unique_ptr<MergeDeliverer> Bus::subscribe(GroupId group) {
 }
 
 std::uint64_t Bus::decided_commands() const {
-  std::uint64_t total = 0;
-  for (const auto& r : rings_) total += r->stats().decided_commands;
-  if (shared_ring_) total += shared_ring_->stats().decided_commands;
-  return total;
+  return total_stats().decided_commands;
 }
 
 std::uint64_t Bus::decided_skips() const {
-  std::uint64_t total = 0;
-  for (const auto& r : rings_) total += r->stats().decided_skips;
-  if (shared_ring_) total += shared_ring_->stats().decided_skips;
+  return total_stats().decided_skips;
+}
+
+paxos::CoordinatorStats Bus::ring_stats(GroupId g) const {
+  return rings_.at(g)->stats();
+}
+
+paxos::CoordinatorStats Bus::shared_ring_stats() const {
+  return shared_ring_ ? shared_ring_->stats() : paxos::CoordinatorStats{};
+}
+
+paxos::CoordinatorStats Bus::total_stats() const {
+  paxos::CoordinatorStats total;
+  for (const auto& r : rings_) total += r->stats();
+  if (shared_ring_) total += shared_ring_->stats();
+  return total;
+}
+
+SubmitCoalescer::Stats Bus::coalesce_stats() const {
+  SubmitCoalescer::Stats total;
+  for (const auto& c : coalescers_) total += c->stats();
   return total;
 }
 

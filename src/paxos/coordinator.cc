@@ -11,11 +11,22 @@ namespace chrono = std::chrono;
 
 namespace {
 chrono::microseconds pick_tick(const RingConfig& cfg) {
-  auto tick = cfg.batch_timeout / 2;
+  // With adaptive batching the effective timeout can shrink down to
+  // min_batch_timeout, so the tick must be fine enough to honor it.
+  auto base = cfg.adaptive_batching
+                  ? std::min(cfg.batch_timeout, cfg.min_batch_timeout)
+                  : cfg.batch_timeout;
+  auto tick = base / 2;
   if (cfg.skip_interval.count() > 0) {
     tick = std::min(tick, cfg.skip_interval / 2);
   }
   return std::max(tick, chrono::microseconds(50));
+}
+
+chrono::microseconds initial_batch_timeout(const RingConfig& cfg) {
+  if (!cfg.adaptive_batching) return cfg.batch_timeout;
+  return std::clamp(cfg.batch_timeout, cfg.min_batch_timeout,
+                    cfg.max_batch_timeout);
 }
 }  // namespace
 
@@ -33,7 +44,9 @@ Coordinator::Coordinator(transport::Network& net, RingId ring, RingConfig cfg,
       proposer_index_(proposer_index),
       tick_(pick_tick(cfg_)),
       round_(start_round),
-      ballot_(make_ballot(start_round, proposer_index)) {
+      ballot_(make_ballot(start_round, proposer_index)),
+      batch_timeout_(initial_batch_timeout(cfg_)) {
+  stats_.batch_timeout_us = static_cast<std::uint64_t>(batch_timeout_.count());
   last_activity_ = chrono::steady_clock::now();
   begin_prepare();
 }
@@ -44,6 +57,9 @@ void Coordinator::handle(transport::Message msg) {
     switch (msg.type) {
       case MsgType::kPaxosSubmit:
         on_submit(std::move(msg.payload));
+        break;
+      case MsgType::kPaxosSubmitMany:
+        on_submit_many(r);
         break;
       case MsgType::kPaxosPromise:
         on_promise(msg.from, r);
@@ -79,24 +95,90 @@ void Coordinator::begin_prepare() {
 }
 
 void Coordinator::on_submit(util::Buffer cmd) {
-  if (pending_.empty()) batch_started_ = chrono::steady_clock::now();
-  pending_bytes_ += cmd.size();
-  pending_.push_back(std::move(cmd));
-  if (pending_bytes_ >= cfg_.max_batch_bytes ||
-      pending_.size() >= cfg_.max_batch_commands) {
-    seal_batch();
+  {
+    std::lock_guard lock(stats_mu_);
+    ++stats_.submit_msgs;
+    ++stats_.submit_commands;
+  }
+  enqueue(std::move(cmd));
+  pump_proposals();
+}
+
+void Coordinator::on_submit_many(util::Reader& r) {
+  std::uint32_t n = r.u32();
+  {
+    std::lock_guard lock(stats_mu_);
+    ++stats_.submit_msgs;
+    stats_.submit_commands += n;
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    enqueue(r.bytes());
   }
   pump_proposals();
 }
 
-void Coordinator::seal_batch() {
+void Coordinator::enqueue(util::Buffer cmd) {
+  if (pending_.empty()) batch_started_ = chrono::steady_clock::now();
+  pending_bytes_ += cmd.size();
+  pending_.push_back(std::move(cmd));
+  if (pending_bytes_ >= cfg_.max_batch_bytes) {
+    seal_batch(SealReason::kBytes);
+  } else if (pending_.size() >= cfg_.max_batch_commands) {
+    seal_batch(SealReason::kCount);
+  }
+}
+
+void Coordinator::seal_batch(SealReason reason) {
   if (pending_.empty()) return;
+  const std::size_t batch_bytes = pending_bytes_;
+  const std::size_t batch_commands = pending_.size();
   Batch b;
   b.skip = false;
   b.commands = std::move(pending_);
   pending_.clear();
   pending_bytes_ = 0;
   sealed_.push_back(b.encode());
+  adapt_timeout(reason, batch_bytes, batch_commands);
+  {
+    std::lock_guard lock(stats_mu_);
+    ++stats_.sealed_batches;
+    stats_.sealed_commands += batch_commands;
+    stats_.sealed_bytes += batch_bytes;
+    switch (reason) {
+      case SealReason::kBytes: ++stats_.sealed_on_bytes; break;
+      case SealReason::kCount: ++stats_.sealed_on_count; break;
+      case SealReason::kTimeout: ++stats_.sealed_on_timeout; break;
+    }
+    stats_.batch_timeout_us =
+        static_cast<std::uint64_t>(batch_timeout_.count());
+  }
+}
+
+void Coordinator::adapt_timeout(SealReason reason, std::size_t batch_bytes,
+                                std::size_t batch_commands) {
+  if (!cfg_.adaptive_batching) return;
+  auto prev = batch_timeout_;
+  if (reason == SealReason::kTimeout) {
+    // The batch sealed by waiting, not by filling.  If it was mostly empty,
+    // the ring is lightly loaded: wait longer next time so more commands
+    // coalesce into one consensus instance.
+    if (batch_bytes < cfg_.max_batch_bytes / 2 &&
+        batch_commands < cfg_.max_batch_commands / 2) {
+      batch_timeout_ = std::min(batch_timeout_ * 2, cfg_.max_batch_timeout);
+      if (batch_timeout_ != prev) {
+        std::lock_guard lock(stats_mu_);
+        ++stats_.timeout_grows;
+      }
+    }
+  } else {
+    // The batch filled before the timeout fired: the ring is loaded, so the
+    // timeout only adds latency to the next lull — shrink it.
+    batch_timeout_ = std::max(batch_timeout_ / 2, cfg_.min_batch_timeout);
+    if (batch_timeout_ != prev) {
+      std::lock_guard lock(stats_mu_);
+      ++stats_.timeout_shrinks;
+    }
+  }
 }
 
 void Coordinator::pump_proposals() {
@@ -214,12 +296,12 @@ void Coordinator::decide(Instance inst) {
     send(a, MsgType::kPaxosDecide, payload);
   }
   if (auto batch = Batch::decode(it->second.value)) {
-    decided_batches_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard lock(stats_mu_);
+    ++stats_.decided_batches;
     if (batch->skip) {
-      decided_skips_.fetch_add(1, std::memory_order_relaxed);
+      ++stats_.decided_skips;
     } else {
-      decided_commands_.fetch_add(batch->commands.size(),
-                                  std::memory_order_relaxed);
+      stats_.decided_commands += batch->commands.size();
     }
   }
   in_flight_.erase(it);
@@ -246,8 +328,8 @@ void Coordinator::on_tick() {
   }
 
   // Seal a lingering partial batch.
-  if (!pending_.empty() && now - batch_started_ >= cfg_.batch_timeout) {
-    seal_batch();
+  if (!pending_.empty() && now - batch_started_ >= batch_timeout_) {
+    seal_batch(SealReason::kTimeout);
     pump_proposals();
   }
 

@@ -1,9 +1,11 @@
 // Paxos coordinator (proposer + batcher) for one ring.
 //
 // Responsibilities, mirroring the paper's multicast library (Section VI-A):
-//   * collects submitted commands into batches of at most 8 KB (or a short
+//   * collects submitted commands into batches of at most 8 KB (or a batch
 //     timeout) — "commands multicast to a group are batched by the group's
-//     coordinator and order is established on batches of commands";
+//     coordinator and order is established on batches of commands"; with
+//     RingConfig::adaptive_batching the timeout shrinks when batches seal
+//     full and grows when they seal sparse, within [min, max] bounds;
 //   * runs multi-Paxos: one Phase 1 (prepare/promise) per ballot covering
 //     all instances, then pipelined Phase 2 (accept/accepted) per batch;
 //   * emits SKIP no-op batches when idle so that deterministic merge across
@@ -12,7 +14,7 @@
 //     under message loss and competing coordinators stay safe.
 #pragma once
 
-#include <atomic>
+#include <algorithm>
 #include <deque>
 #include <map>
 #include <memory>
@@ -44,10 +46,69 @@ class LearnerRegistry {
 };
 
 /// Counters exported for benches and tests.
+///
+/// The batching fields let callers assert on batcher *behavior* (fill
+/// levels, why batches sealed, where the adaptive timeout settled) instead
+/// of eyeballing throughput: mean occupancy is sealed_commands /
+/// sealed_batches, mean batch payload is sealed_bytes / sealed_batches.
 struct CoordinatorStats {
   std::uint64_t decided_batches = 0;
   std::uint64_t decided_commands = 0;
   std::uint64_t decided_skips = 0;
+
+  // Batch sealing (non-skip batches only).
+  std::uint64_t sealed_batches = 0;
+  std::uint64_t sealed_commands = 0;
+  std::uint64_t sealed_bytes = 0;
+  std::uint64_t sealed_on_bytes = 0;    // hit max_batch_bytes
+  std::uint64_t sealed_on_count = 0;    // hit max_batch_commands
+  std::uint64_t sealed_on_timeout = 0;  // batch timeout expired
+
+  // Adaptive timeout trajectory.
+  std::uint64_t timeout_grows = 0;
+  std::uint64_t timeout_shrinks = 0;
+  /// Current effective batch timeout (the adaptive sample; equals the
+  /// configured batch_timeout when adaptive batching is off).
+  std::uint64_t batch_timeout_us = 0;
+
+  // Submit-side coalescing as seen by this coordinator: messages received
+  // vs commands they carried (> 1 command per message means upstream
+  // submitters piggybacked onto one wire submit).
+  std::uint64_t submit_msgs = 0;
+  std::uint64_t submit_commands = 0;
+
+  [[nodiscard]] double mean_commands_per_batch() const {
+    return sealed_batches == 0
+               ? 0.0
+               : static_cast<double>(sealed_commands) /
+                     static_cast<double>(sealed_batches);
+  }
+  [[nodiscard]] double mean_bytes_per_batch() const {
+    return sealed_batches == 0 ? 0.0
+                               : static_cast<double>(sealed_bytes) /
+                                     static_cast<double>(sealed_batches);
+  }
+
+  /// Aggregates counters across rings; batch_timeout_us keeps the maximum
+  /// (a "how far did any ring stretch" sample, since summing timeouts is
+  /// meaningless).
+  CoordinatorStats& operator+=(const CoordinatorStats& o) {
+    decided_batches += o.decided_batches;
+    decided_commands += o.decided_commands;
+    decided_skips += o.decided_skips;
+    sealed_batches += o.sealed_batches;
+    sealed_commands += o.sealed_commands;
+    sealed_bytes += o.sealed_bytes;
+    sealed_on_bytes += o.sealed_on_bytes;
+    sealed_on_count += o.sealed_on_count;
+    sealed_on_timeout += o.sealed_on_timeout;
+    timeout_grows += o.timeout_grows;
+    timeout_shrinks += o.timeout_shrinks;
+    batch_timeout_us = std::max(batch_timeout_us, o.batch_timeout_us);
+    submit_msgs += o.submit_msgs;
+    submit_commands += o.submit_commands;
+    return *this;
+  }
 };
 
 class Coordinator : public transport::Endpoint {
@@ -58,8 +119,8 @@ class Coordinator : public transport::Endpoint {
               std::uint32_t proposer_index, std::uint64_t start_round);
 
   [[nodiscard]] CoordinatorStats stats() const {
-    return CoordinatorStats{decided_batches_.load(), decided_commands_.load(),
-                            decided_skips_.load()};
+    std::lock_guard lock(stats_mu_);
+    return stats_;
   }
 
  protected:
@@ -72,14 +133,20 @@ class Coordinator : public transport::Endpoint {
 
  private:
   enum class Phase { kPreparing, kSteady };
+  enum class SealReason { kBytes, kCount, kTimeout };
 
   void begin_prepare();
   void on_submit(util::Buffer cmd);
+  void on_submit_many(util::Reader& r);
   void on_promise(transport::NodeId from, util::Reader& r);
   void on_accepted(transport::NodeId from, util::Reader& r);
   void on_nack(util::Reader& r);
 
-  void seal_batch();
+  /// Appends one command to the open batch, sealing when a cap is hit.
+  void enqueue(util::Buffer cmd);
+  void seal_batch(SealReason reason);
+  void adapt_timeout(SealReason reason, std::size_t batch_bytes,
+                     std::size_t batch_commands);
   void pump_proposals();
   void propose(Instance inst, util::Buffer value);
   void send_accepts(Instance inst);
@@ -115,6 +182,9 @@ class Coordinator : public transport::Endpoint {
   std::size_t pending_bytes_ = 0;
   std::chrono::steady_clock::time_point batch_started_{};
   std::deque<util::Buffer> sealed_;
+  /// Effective batch timeout; fixed at cfg_.batch_timeout unless adaptive
+  /// batching moves it within [min_batch_timeout, max_batch_timeout].
+  std::chrono::microseconds batch_timeout_;
 
   // Phase 2 pipeline.
   struct InFlight {
@@ -126,9 +196,10 @@ class Coordinator : public transport::Endpoint {
 
   std::chrono::steady_clock::time_point last_activity_{};
 
-  std::atomic<std::uint64_t> decided_batches_{0};
-  std::atomic<std::uint64_t> decided_commands_{0};
-  std::atomic<std::uint64_t> decided_skips_{0};
+  // Written on the coordinator thread only; the mutex makes stats() safe to
+  // call from test/bench threads.
+  mutable std::mutex stats_mu_;
+  CoordinatorStats stats_;
 };
 
 }  // namespace psmr::paxos

@@ -46,6 +46,17 @@ bool Ring::submit(transport::NodeId from, util::Buffer command) {
                    std::move(command));
 }
 
+bool Ring::submit_many(transport::NodeId from,
+                       std::vector<util::Buffer> commands) {
+  if (commands.empty()) return true;
+  if (commands.size() == 1) return submit(from, std::move(commands.front()));
+  util::Writer w;
+  w.u32(static_cast<std::uint32_t>(commands.size()));
+  for (const auto& c : commands) w.bytes(c);
+  return net_.send(from, coordinator(), transport::MsgType::kPaxosSubmitMany,
+                   w.take());
+}
+
 transport::NodeId Ring::fail_coordinator() {
   std::lock_guard lock(mu_);
   transport::NodeId old = current_coordinator_.load();

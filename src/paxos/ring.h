@@ -46,6 +46,13 @@ class Ring {
   /// Submits one opaque command from node `from` to the current coordinator.
   bool submit(transport::NodeId from, util::Buffer command);
 
+  /// Submits several commands in one wire message (SUBMIT_MANY).  The
+  /// coordinator appends them to its open batch in order, so a burst
+  /// coalesced upstream lands in as few consensus instances as the batch
+  /// caps allow instead of trickling in one submit per command.
+  bool submit_many(transport::NodeId from,
+                   std::vector<util::Buffer> commands);
+
   /// Crash-simulates the current coordinator and promotes a standby with a
   /// strictly higher ballot.  Returns the new coordinator's node id.
   transport::NodeId fail_coordinator();

@@ -20,6 +20,7 @@ Deployment::Deployment(DeploymentConfig cfg) : cfg_(std::move(cfg)) {
       multicast::BusConfig bus_cfg;
       bus_cfg.num_groups = 1;
       bus_cfg.ring = cfg_.ring;
+      bus_cfg.coalesce_submits = cfg_.coalesce_submits;
       bus_ = std::make_unique<multicast::Bus>(net_, bus_cfg);
       client_cg_ = cfg_.cg_factory(1);
       for (std::size_t r = 0; r < cfg_.replicas; ++r) {
@@ -39,6 +40,7 @@ Deployment::Deployment(DeploymentConfig cfg) : cfg_(std::move(cfg)) {
       multicast::BusConfig bus_cfg;
       bus_cfg.num_groups = cfg_.mpl;
       bus_cfg.ring = cfg_.ring;
+      bus_cfg.coalesce_submits = cfg_.coalesce_submits;
       bus_ = std::make_unique<multicast::Bus>(net_, bus_cfg);
       client_cg_ = cfg_.cg_factory(cfg_.mpl);
       for (std::size_t r = 0; r < cfg_.replicas; ++r) {
@@ -104,6 +106,10 @@ std::unique_ptr<ClientProxy> Deployment::make_client() {
     }
   }
   return nullptr;
+}
+
+paxos::CoordinatorStats Deployment::multicast_stats() const {
+  return bus_ ? bus_->total_stats() : paxos::CoordinatorStats{};
 }
 
 std::size_t Deployment::num_services() const {

@@ -48,6 +48,9 @@ struct DeploymentConfig {
   std::size_t replicas = 2;
   /// Ring tuning (batching, skips, retransmission).
   paxos::RingConfig ring;
+  /// Submit-side coalescing on the multicast bus (see
+  /// BusConfig::coalesce_submits).  Ignored by unreplicated modes.
+  bool coalesce_submits = true;
   /// Builds one fresh service instance (per replica).
   std::function<std::unique_ptr<Service>()> service_factory;
   /// Builds the shared thread-safe service (lock-server mode only); when
@@ -78,6 +81,11 @@ class Deployment {
   [[nodiscard]] transport::Network& network() { return net_; }
   /// Null in unreplicated modes.
   [[nodiscard]] multicast::Bus* bus() { return bus_.get(); }
+
+  /// Aggregate batching/consensus counters across every ring of the bus
+  /// (zeros for unreplicated modes).  Tests and benches assert on these —
+  /// e.g. mean_commands_per_batch() — rather than eyeballing throughput.
+  [[nodiscard]] paxos::CoordinatorStats multicast_stats() const;
 
   /// Number of service instances (replicas, or 1 for unreplicated modes).
   [[nodiscard]] std::size_t num_services() const;

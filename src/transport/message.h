@@ -33,6 +33,7 @@ enum MsgType : std::uint16_t {
   kPaxosDecide = 7,     // coordinator -> learner: decided batch
   kPaxosCatchupReq = 8, // learner -> acceptor: re-learn decided instances
   kPaxosCatchupRep = 9, // acceptor -> learner
+  kPaxosSubmitMany = 10, // client/proxy -> coordinator: coalesced commands
   // SMR layer: 30..39
   kSmrResponse = 30,    // replica worker -> client proxy
   kSmrDirect = 31,      // client -> unreplicated server (no-rep / lock server)

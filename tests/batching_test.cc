@@ -1,0 +1,403 @@
+// Batching-focused unit suite: seal triggers (byte cap, command cap,
+// timeout), the adaptive-timeout controller's grow/shrink behavior and
+// bounds, SUBMIT_MANY wire coalescing, and the Bus submit coalescer.
+//
+// Everything here asserts on CoordinatorStats / SubmitCoalescer::Stats
+// rather than throughput, so the tests stay meaningful on a loaded host.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "multicast/amcast.h"
+#include "paxos/ring.h"
+#include "test_support.h"
+#include "transport/network.h"
+
+namespace psmr::paxos {
+namespace {
+
+using transport::Network;
+
+util::Buffer cmd(std::uint64_t id) {
+  util::Writer w;
+  w.u64(id);
+  return w.take();
+}
+
+std::uint64_t cmd_id(const util::Buffer& b) {
+  util::Reader r(b);
+  return r.u64();
+}
+
+// Drains exactly `want` commands from the learner, checking contiguous ids.
+void drain_ordered(LearnerLog& log, std::uint64_t want) {
+  std::uint64_t expect = 0;
+  while (expect < want) {
+    auto d = log.next_for(std::chrono::seconds(5));
+    ASSERT_TRUE(d.has_value()) << "delivery stalled at " << expect;
+    if (d->batch.skip) continue;
+    for (const auto& c : d->batch.commands) {
+      EXPECT_EQ(cmd_id(c), expect);
+      ++expect;
+    }
+  }
+}
+
+RingConfig quiet_ring() {
+  // Long timeout so only the explicit caps under test can seal.
+  RingConfig cfg;
+  cfg.batch_timeout = std::chrono::milliseconds(50);
+  return cfg;
+}
+
+TEST(BatchSeal, ByteCapSealsExactly) {
+  Network net;
+  RingConfig cfg = quiet_ring();
+  // Long enough that a descheduled submitter cannot sneak in a timeout
+  // seal mid-flood; every batch seals on the byte cap (64 = 8 * 8 exactly,
+  // so there is no trailing partial to wait out either).
+  cfg.batch_timeout = std::chrono::milliseconds(500);
+  cfg.max_batch_bytes = 64;  // 8 commands of 8 bytes
+  Ring ring(net, 0, cfg);
+  auto learner = ring.subscribe();
+  ring.start();
+  auto [me, mybox] = net.register_node();
+
+  for (std::uint64_t i = 0; i < 64; ++i) ring.submit(me, cmd(i));
+  drain_ordered(*learner, 64);
+
+  auto s = ring.stats();
+  EXPECT_EQ(s.sealed_on_bytes, 8u);
+  EXPECT_EQ(s.sealed_on_count, 0u);
+  EXPECT_EQ(s.sealed_on_timeout, 0u);
+  EXPECT_EQ(s.sealed_batches, 8u);
+  EXPECT_EQ(s.sealed_commands, 64u);
+  EXPECT_EQ(s.sealed_bytes, 64u * 8u);
+  EXPECT_DOUBLE_EQ(s.mean_commands_per_batch(), 8.0);
+  EXPECT_DOUBLE_EQ(s.mean_bytes_per_batch(), 64.0);
+}
+
+TEST(BatchSeal, CommandCapSealsExactly) {
+  Network net;
+  RingConfig cfg = quiet_ring();
+  cfg.batch_timeout = std::chrono::milliseconds(500);
+  cfg.max_batch_commands = 5;
+  Ring ring(net, 0, cfg);
+  auto learner = ring.subscribe();
+  ring.start();
+  auto [me, mybox] = net.register_node();
+
+  for (std::uint64_t i = 0; i < 40; ++i) ring.submit(me, cmd(i));
+  drain_ordered(*learner, 40);
+
+  auto s = ring.stats();
+  EXPECT_EQ(s.sealed_on_count, 8u);
+  EXPECT_EQ(s.sealed_on_bytes, 0u);
+  EXPECT_EQ(s.sealed_on_timeout, 0u);
+  EXPECT_DOUBLE_EQ(s.mean_commands_per_batch(), 5.0);
+}
+
+TEST(BatchSeal, TimeoutSealsPartialBatch) {
+  Network net;
+  RingConfig cfg;
+  cfg.batch_timeout = std::chrono::microseconds(300);
+  Ring ring(net, 0, cfg);
+  auto learner = ring.subscribe();
+  ring.start();
+  auto [me, mybox] = net.register_node();
+
+  for (std::uint64_t i = 0; i < 3; ++i) ring.submit(me, cmd(i));
+  drain_ordered(*learner, 3);
+
+  auto s = ring.stats();
+  // >= rather than ==: a descheduled submitter can split the trio into two
+  // timeout-sealed batches on a loaded host.
+  EXPECT_GE(s.sealed_on_timeout, 1u);
+  EXPECT_EQ(s.sealed_on_bytes, 0u);
+  EXPECT_EQ(s.sealed_on_count, 0u);
+  EXPECT_EQ(s.sealed_commands, 3u);
+}
+
+TEST(BatchSeal, FixedTimeoutReportedInStats) {
+  Network net;
+  RingConfig cfg;
+  cfg.batch_timeout = std::chrono::microseconds(700);
+  Ring ring(net, 0, cfg);
+  EXPECT_EQ(ring.stats().batch_timeout_us, 700u);
+}
+
+TEST(AdaptiveBatching, TimeoutGrowsOnSparseTraffic) {
+  Network net;
+  RingConfig cfg;
+  cfg.adaptive_batching = true;
+  cfg.batch_timeout = std::chrono::microseconds(200);
+  cfg.min_batch_timeout = std::chrono::microseconds(100);
+  cfg.max_batch_timeout = std::chrono::microseconds(1600);
+  Ring ring(net, 0, cfg);
+  auto learner = ring.subscribe();
+  ring.start();
+  auto [me, mybox] = net.register_node();
+
+  // A trickle: each command sits alone until the timeout seals it, so every
+  // seal is a sparse timeout seal and the timeout doubles 200 -> 1600.
+  std::uint64_t delivered = 0;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    ring.submit(me, cmd(i));
+    // Wait for delivery so the next command definitely opens a new batch.
+    while (delivered <= i) {
+      auto d = learner->next_for(std::chrono::seconds(5));
+      ASSERT_TRUE(d.has_value());
+      if (!d->batch.skip) delivered += d->batch.commands.size();
+    }
+  }
+
+  auto s = ring.stats();
+  EXPECT_GE(s.timeout_grows, 3u);
+  EXPECT_EQ(s.batch_timeout_us, 1600u);  // clamped at max
+  EXPECT_EQ(s.timeout_shrinks, 0u);
+}
+
+TEST(AdaptiveBatching, TimeoutShrinksUnderLoad) {
+  Network net;
+  RingConfig cfg;
+  cfg.adaptive_batching = true;
+  cfg.batch_timeout = std::chrono::microseconds(1600);
+  cfg.min_batch_timeout = std::chrono::microseconds(100);
+  cfg.max_batch_timeout = std::chrono::microseconds(3200);
+  cfg.max_batch_commands = 8;
+  Ring ring(net, 0, cfg);
+  auto learner = ring.subscribe();
+  ring.start();
+  auto [me, mybox] = net.register_node();
+
+  // A flood: batches seal on the command cap, so every seal shrinks the
+  // timeout 1600 -> 100 (clamped at min after 4 halvings).  Bounds are >=
+  // / <= because a descheduled submitter can sneak in a timeout seal.
+  for (std::uint64_t i = 0; i < 64; ++i) ring.submit(me, cmd(i));
+  drain_ordered(*learner, 64);
+
+  auto s = ring.stats();
+  EXPECT_GE(s.timeout_shrinks, 3u);
+  EXPECT_GE(s.batch_timeout_us, 100u);
+  EXPECT_LE(s.batch_timeout_us, 400u);
+  EXPECT_GE(s.sealed_on_count, 6u);
+}
+
+TEST(AdaptiveBatching, TimeoutStaysWithinBounds) {
+  Network net;
+  RingConfig cfg;
+  cfg.adaptive_batching = true;
+  cfg.batch_timeout = std::chrono::microseconds(400);
+  cfg.min_batch_timeout = std::chrono::microseconds(200);
+  cfg.max_batch_timeout = std::chrono::microseconds(800);
+  cfg.max_batch_commands = 4;
+  Ring ring(net, 0, cfg);
+  auto learner = ring.subscribe();
+  ring.start();
+  auto [me, mybox] = net.register_node();
+
+  // Alternate floods (shrink pressure) and trickles (grow pressure),
+  // sampling the bound invariant throughout.
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  auto drain_to = [&](std::uint64_t n) {
+    while (delivered < n) {
+      auto d = learner->next_for(std::chrono::seconds(5));
+      ASSERT_TRUE(d.has_value());
+      if (!d->batch.skip) delivered += d->batch.commands.size();
+    }
+  };
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 16; ++i) ring.submit(me, cmd(sent++));
+    drain_to(sent);
+    auto s = ring.stats();
+    EXPECT_GE(s.batch_timeout_us, 200u);
+    EXPECT_LE(s.batch_timeout_us, 800u);
+    ring.submit(me, cmd(sent++));
+    drain_to(sent);
+    s = ring.stats();
+    EXPECT_GE(s.batch_timeout_us, 200u);
+    EXPECT_LE(s.batch_timeout_us, 800u);
+  }
+}
+
+TEST(AdaptiveBatching, StartingTimeoutClampedIntoBounds) {
+  Network net;
+  RingConfig cfg;
+  cfg.adaptive_batching = true;
+  cfg.batch_timeout = std::chrono::microseconds(50);  // below min
+  cfg.min_batch_timeout = std::chrono::microseconds(300);
+  cfg.max_batch_timeout = std::chrono::microseconds(900);
+  Ring ring(net, 0, cfg);
+  EXPECT_EQ(ring.stats().batch_timeout_us, 300u);
+}
+
+TEST(SubmitMany, BurstArrivesInOneMessage) {
+  Network net;
+  Ring ring(net, 0, quiet_ring());
+  auto learner = ring.subscribe();
+  ring.start();
+  auto [me, mybox] = net.register_node();
+
+  std::vector<util::Buffer> burst;
+  for (std::uint64_t i = 0; i < 10; ++i) burst.push_back(cmd(i));
+  ASSERT_TRUE(ring.submit_many(me, std::move(burst)));
+  drain_ordered(*learner, 10);
+
+  auto s = ring.stats();
+  EXPECT_EQ(s.submit_msgs, 1u);
+  EXPECT_EQ(s.submit_commands, 10u);
+}
+
+TEST(SubmitMany, SingleCommandFallsBackToPlainSubmit) {
+  Network net;
+  Ring ring(net, 0, quiet_ring());
+  auto learner = ring.subscribe();
+  ring.start();
+  auto [me, mybox] = net.register_node();
+
+  std::vector<util::Buffer> one;
+  one.push_back(cmd(0));
+  ASSERT_TRUE(ring.submit_many(me, std::move(one)));
+  EXPECT_TRUE(ring.submit_many(me, {}));  // empty burst is a no-op
+  drain_ordered(*learner, 1);
+
+  auto s = ring.stats();
+  EXPECT_EQ(s.submit_msgs, 1u);
+  EXPECT_EQ(s.submit_commands, 1u);
+}
+
+TEST(SubmitMany, BurstRespectsBatchCapsMidMessage) {
+  Network net;
+  RingConfig cfg = quiet_ring();
+  cfg.max_batch_commands = 4;
+  Ring ring(net, 0, cfg);
+  auto learner = ring.subscribe();
+  ring.start();
+  auto [me, mybox] = net.register_node();
+
+  std::vector<util::Buffer> burst;
+  for (std::uint64_t i = 0; i < 10; ++i) burst.push_back(cmd(i));
+  ASSERT_TRUE(ring.submit_many(me, std::move(burst)));
+  drain_ordered(*learner, 10);
+
+  auto s = ring.stats();
+  // 10 commands through a cap of 4: two full batches sealed on the cap,
+  // the trailing 2 sealed by the (long) timeout.
+  EXPECT_EQ(s.sealed_on_count, 2u);
+  EXPECT_EQ(s.sealed_commands, 10u);
+}
+
+}  // namespace
+}  // namespace psmr::paxos
+
+namespace psmr::multicast {
+namespace {
+
+using transport::Network;
+
+util::Buffer msg(std::uint64_t id) {
+  util::Writer w;
+  w.u64(id);
+  return w.take();
+}
+
+TEST(Coalescer, SingleThreadFlushesEverySubmit) {
+  Network net;
+  BusConfig cfg;
+  cfg.num_groups = 1;
+  cfg.ring.batch_timeout = std::chrono::microseconds(200);
+  Bus bus(net, cfg);
+  auto sub = bus.subscribe(0);
+  bus.start();
+  auto [me, mybox] = net.register_node();
+
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(bus.multicast(me, GroupSet::single(0), msg(i)));
+  }
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    auto d = sub->next();
+    ASSERT_TRUE(d.has_value());
+  }
+
+  // With no contention every submit flushes itself: nothing piggybacks.
+  auto cs = bus.coalesce_stats();
+  EXPECT_EQ(cs.flushes, 20u);
+  EXPECT_EQ(cs.flushed_commands, 20u);
+  EXPECT_EQ(cs.piggybacked, 0u);
+}
+
+TEST(Coalescer, DisabledBusSubmitsDirectly) {
+  Network net;
+  BusConfig cfg;
+  cfg.num_groups = 1;
+  cfg.coalesce_submits = false;
+  cfg.ring.batch_timeout = std::chrono::microseconds(200);
+  Bus bus(net, cfg);
+  auto sub = bus.subscribe(0);
+  bus.start();
+  auto [me, mybox] = net.register_node();
+
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(bus.multicast(me, GroupSet::single(0), msg(i)));
+  }
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    auto d = sub->next();
+    ASSERT_TRUE(d.has_value());
+  }
+  auto cs = bus.coalesce_stats();
+  EXPECT_EQ(cs.flushes, 0u);
+  EXPECT_EQ(cs.flushed_commands, 0u);
+}
+
+TEST(Coalescer, ConcurrentSharedRingSubmitsPiggyback) {
+  // Hammer the shared g_all ring from several threads until the coalescer
+  // observably merges concurrent submits into one wire message.  Each round
+  // is checked for full delivery, so the loop also re-verifies correctness;
+  // the piggyback race is overwhelmingly likely per round and the retry cap
+  // makes a flaky miss effectively impossible.
+  Network net;
+  BusConfig cfg;
+  cfg.num_groups = 2;
+  cfg.ring.batch_timeout = std::chrono::microseconds(200);
+  cfg.ring.skip_interval = std::chrono::microseconds(500);
+  Bus bus(net, cfg);
+  auto sub = bus.subscribe(0);
+  bus.start();
+
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 200;
+  std::uint64_t total_delivered = 0;
+  for (int round = 0; round < 20 && bus.coalesce_stats().piggybacked == 0;
+       ++round) {
+    test_support::run_threads(kThreads, [&](int t) {
+      auto [node, box] = net.register_node();
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        ASSERT_TRUE(bus.multicast(
+            node, GroupSet::all(2),
+            msg(static_cast<std::uint64_t>(t) * kPerThread + i)));
+      }
+    });
+    total_delivered += kThreads * kPerThread;
+    std::uint64_t got = 0;
+    while (got < kThreads * kPerThread) {
+      auto d = sub->next();
+      ASSERT_TRUE(d.has_value());
+      ++got;
+    }
+  }
+
+  auto cs = bus.coalesce_stats();
+  EXPECT_GT(cs.piggybacked, 0u);
+  EXPECT_EQ(cs.flushed_commands, total_delivered);
+  // Piggybacking means fewer wire messages than commands.
+  EXPECT_LT(cs.flushes, cs.flushed_commands);
+  // The shared ring's coordinator saw multi-command submit messages.
+  auto shared = bus.shared_ring_stats();
+  EXPECT_EQ(shared.submit_commands, total_delivered);
+  EXPECT_LT(shared.submit_msgs, shared.submit_commands);
+}
+
+}  // namespace
+}  // namespace psmr::multicast

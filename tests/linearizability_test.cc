@@ -16,6 +16,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <string>
+#include <string_view>
 #include <thread>
 
 #include "kvstore/kv_client.h"
@@ -34,12 +36,33 @@ struct ReadRecord {
   std::uint64_t value;
 };
 
-class PsmrLinearizability : public ::testing::TestWithParam<int> {};
+// (mpl, batching profile): "default" is the tuned test ring; the
+// aggressive profiles re-run the same history check under batching
+// extremes (near-zero timeout / cap-driven sealing), which is where a
+// batcher bug would first corrupt ordering.
+struct LinParam {
+  int mpl;
+  const char* profile;
+};
+
+paxos::RingConfig ring_for(const char* profile) {
+  if (std::string_view(profile) == "default") {
+    return test_support::fast_ring();
+  }
+  for (const auto& named : test_support::aggressive_batching_rings()) {
+    if (std::string_view(named.name) == profile) return named.ring;
+  }
+  ADD_FAILURE() << "unknown batching profile " << profile;
+  return test_support::fast_ring();
+}
+
+class PsmrLinearizability : public ::testing::TestWithParam<LinParam> {};
 
 TEST_P(PsmrLinearizability, SequentialWriterConcurrentReaders) {
-  const int mpl = GetParam();
-  test_support::Cluster cluster(test_support::kv_config(
-      Mode::kPsmr, static_cast<std::size_t>(mpl), /*initial_keys=*/16));
+  const int mpl = GetParam().mpl;
+  test_support::Cluster cluster(test_support::kv_config_with_ring(
+      Mode::kPsmr, static_cast<std::size_t>(mpl),
+      ring_for(GetParam().profile), /*initial_keys=*/16));
   Deployment& d = cluster.deployment();
 
   constexpr std::uint64_t kKey = 5;
@@ -113,10 +136,19 @@ TEST_P(PsmrLinearizability, SequentialWriterConcurrentReaders) {
   EXPECT_EQ(d.state_digest(0), d.state_digest(1));
 }
 
-INSTANTIATE_TEST_SUITE_P(Mpl, PsmrLinearizability, ::testing::Values(1, 4, 8),
-                         [](const auto& info) {
-                           return "mpl" + std::to_string(info.param);
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    Mpl, PsmrLinearizability,
+    ::testing::Values(LinParam{1, "default"}, LinParam{4, "default"},
+                      LinParam{8, "default"}, LinParam{4, "tiny-timeout"},
+                      LinParam{4, "tiny-cap"}),
+    [](const auto& info) {
+      std::string name =
+          "mpl" + std::to_string(info.param.mpl) + "_" + info.param.profile;
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
 
 }  // namespace
 }  // namespace psmr::smr

@@ -44,14 +44,47 @@ paxos::RingConfig fault_ring(std::size_t num_acceptors) {
   return ring;
 }
 
+paxos::RingConfig batching_ring(std::size_t num_acceptors) {
+  paxos::RingConfig ring = fast_ring(num_acceptors);
+  ring.adaptive_batching = true;
+  ring.batch_timeout = std::chrono::microseconds(300);
+  ring.min_batch_timeout = std::chrono::microseconds(100);
+  ring.max_batch_timeout = std::chrono::microseconds(8000);
+  return ring;
+}
+
+std::vector<NamedRing> aggressive_batching_rings() {
+  // Tiny timeout, huge caps: nearly every command decides alone, maximal
+  // consensus-instance pressure.
+  paxos::RingConfig tiny_timeout = fast_ring();
+  tiny_timeout.batch_timeout = std::chrono::microseconds(50);
+  tiny_timeout.max_batch_bytes = 1 << 20;
+  tiny_timeout.max_batch_commands = 100000;
+
+  // Long timeout, tiny cap: sealing is purely cap-driven and commands queue
+  // behind full batches.
+  paxos::RingConfig tiny_cap = fast_ring();
+  tiny_cap.batch_timeout = std::chrono::microseconds(5000);
+  tiny_cap.max_batch_commands = 2;
+
+  return {{"tiny-timeout", tiny_timeout}, {"tiny-cap", tiny_cap}};
+}
+
 smr::DeploymentConfig kv_config(smr::Mode mode, std::size_t mpl,
                                 std::uint64_t initial_keys,
                                 std::size_t replicas) {
+  return kv_config_with_ring(mode, mpl, fast_ring(), initial_keys, replicas);
+}
+
+smr::DeploymentConfig kv_config_with_ring(smr::Mode mode, std::size_t mpl,
+                                          const paxos::RingConfig& ring,
+                                          std::uint64_t initial_keys,
+                                          std::size_t replicas) {
   smr::DeploymentConfig cfg;
   cfg.mode = mode;
   cfg.mpl = mpl;
   cfg.replicas = replicas;
-  cfg.ring = fast_ring();
+  cfg.ring = ring;
   cfg.service_factory = [initial_keys] {
     return std::make_unique<kvstore::KvService>(initial_keys);
   };

@@ -51,12 +51,36 @@ paxos::RingConfig fast_ring(std::size_t num_acceptors = 3);
 /// aggressive retransmission timer so drop/crash recovery is quick.
 paxos::RingConfig fault_ring(std::size_t num_acceptors = 3);
 
+/// Ring tuning for the batching suites: adaptive batch timeouts enabled
+/// with wide bounds, so occupancy-sensitive tests can watch the timeout
+/// move, plus the fast_ring() skip/rto settings for small hosts.
+paxos::RingConfig batching_ring(std::size_t num_acceptors = 3);
+
+/// A named aggressive-batching ring config, used to re-run ordering
+/// suites under batching extremes.
+struct NamedRing {
+  const char* name;
+  paxos::RingConfig ring;
+};
+
+/// The two batching extremes most likely to shake out ordering bugs:
+/// "tiny-timeout" (near-zero wait, huge caps: batches seal almost per
+/// command) and "tiny-cap" (long wait, cap of 1-2 commands: sealing is
+/// driven purely by the caps while commands queue behind them).
+std::vector<NamedRing> aggressive_batching_rings();
+
 /// A complete KV deployment config: fast_ring(), KvService /
 /// ConcurrentKvService factories preloaded with `initial_keys`, and the
 /// keyed C-G function.
 smr::DeploymentConfig kv_config(smr::Mode mode, std::size_t mpl,
                                 std::uint64_t initial_keys = 0,
                                 std::size_t replicas = 2);
+
+/// kv_config with an explicit ring configuration (batching sweeps).
+smr::DeploymentConfig kv_config_with_ring(smr::Mode mode, std::size_t mpl,
+                                          const paxos::RingConfig& ring,
+                                          std::uint64_t initial_keys = 0,
+                                          std::size_t replicas = 2);
 
 /// Blocks until every service instance has executed >= n commands (or the
 /// timeout elapses; the caller's subsequent assertions catch a timeout).
