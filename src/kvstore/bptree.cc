@@ -1,45 +1,19 @@
 #include "kvstore/bptree.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cassert>
 
 #include "util/hash.h"
 
 namespace psmr::kvstore {
 
-// Nodes keep one slot of headroom (kMaxEntries + 1) so an insert can
-// overflow in place and split afterwards — simpler and branch-predictable.
-struct BPlusTree::Node {
-  bool leaf;
-  int count = 0;  // entries (leaf) or separator keys (inner)
-  explicit Node(bool is_leaf) : leaf(is_leaf) {}
-};
-
-struct BPlusTree::Leaf : Node {
-  Key keys[kMaxEntries + 1];
-  Value vals[kMaxEntries + 1];
-  Leaf* next = nullptr;
-  Leaf() : Node(true) {}
-};
-
-struct BPlusTree::Inner : Node {
-  Key keys[kMaxEntries + 1];
-  Node* child[kMaxEntries + 2] = {};
-  Inner() : Node(false) {}
-};
-
 namespace {
-// Index of the child subtree that may contain k: first separator > k.
-int child_index(const BPlusTree::Key* keys, int count, BPlusTree::Key k) {
-  return static_cast<int>(std::upper_bound(keys, keys + count, k) - keys);
-}
-// Position of k in a leaf, or -1.
-int leaf_find(const BPlusTree::Key* keys, int count, BPlusTree::Key k) {
-  auto it = std::lower_bound(keys, keys + count, k);
-  if (it != keys + count && *it == k) return static_cast<int>(it - keys);
-  return -1;
-}
+using btree_core::kInfKey;
+using btree_core::layout_ok;
+using btree_core::leaf_find_eq;
+using btree_core::leaf_lower_bound;
+using btree_core::pad_tail;
+using btree_core::sync_router;
 }  // namespace
 
 BPlusTree::BPlusTree() : root_(new Leaf()) {}
@@ -56,18 +30,9 @@ void BPlusTree::destroy(Node* node) {
   }
 }
 
-BPlusTree::Leaf* BPlusTree::find_leaf(Key k) const {
-  Node* node = root_;
-  while (!node->leaf) {
-    auto* inner = static_cast<Inner*>(node);
-    node = inner->child[child_index(inner->keys, inner->count, k)];
-  }
-  return static_cast<Leaf*>(node);
-}
-
 std::optional<BPlusTree::Value> BPlusTree::find(Key k) const {
   Leaf* leaf = find_leaf(k);
-  int pos = leaf_find(leaf->keys, leaf->count, k);
+  int pos = leaf_find_eq(leaf, k);
   if (pos < 0) return std::nullopt;
   return std::atomic_ref<Value>(leaf->vals[pos])
       .load(std::memory_order_relaxed);
@@ -75,11 +40,60 @@ std::optional<BPlusTree::Value> BPlusTree::find(Key k) const {
 
 bool BPlusTree::update(Key k, Value v) {
   Leaf* leaf = find_leaf(k);
-  int pos = leaf_find(leaf->keys, leaf->count, k);
+  int pos = leaf_find_eq(leaf, k);
   if (pos < 0) return false;
   std::atomic_ref<Value>(leaf->vals[pos])
       .store(v, std::memory_order_relaxed);
   return true;
+}
+
+void BPlusTree::find_batch(const Key* keys, std::size_t n,
+                           std::optional<Value>* out) const {
+  constexpr std::size_t W = kBatchWidth;
+  for (std::size_t i = 0; i < n; i += W) {
+    const std::size_t m = n - i < W ? n - i : W;  // partial final wave
+    const Node* cur[W];
+    for (std::size_t w = 0; w < m; ++w) cur[w] = root_;
+    // Lockstep descent (every leaf is at the same depth).  Each wave only
+    // issues independent loads across the lanes: first every lane's router
+    // probe, then every lane's segment scan + child step, so the
+    // out-of-order core keeps all lanes' misses in flight together.
+    while (!cur[0]->leaf) {
+      int base[W];
+      for (std::size_t w = 0; w < m; ++w) {
+        const auto* in = static_cast<const Inner*>(cur[w]);
+        base[w] = btree_core::router_seg_upper(in->router, keys[i + w]) *
+                  btree_core::kSegment;
+      }
+      for (std::size_t w = 0; w < m; ++w) {
+        const auto* in = static_cast<const Inner*>(cur[w]);
+        int idx = base[w] +
+                  btree_core::segment_upper(in->keys + base[w], keys[i + w]);
+        if (idx > in->count) idx = in->count;
+        cur[w] = in->child[idx];
+      }
+    }
+    int base[W];
+    for (std::size_t w = 0; w < m; ++w) {
+      const auto* leaf = static_cast<const Leaf*>(cur[w]);
+      base[w] = btree_core::router_seg_lower(leaf->router, keys[i + w]) *
+                btree_core::kSegment;
+      btree_core::prefetch_range(leaf->vals + base[w],
+                                 btree_core::kSegment * sizeof(Value));
+    }
+    for (std::size_t w = 0; w < m; ++w) {
+      const auto* leaf = static_cast<const Leaf*>(cur[w]);
+      int pos = base[w] +
+                btree_core::segment_lower(leaf->keys + base[w], keys[i + w]);
+      if (pos < leaf->count && leaf->keys[pos] == keys[i + w]) {
+        out[i + w] = std::atomic_ref<Value>(
+                         const_cast<Value&>(leaf->vals[pos]))
+                         .load(std::memory_order_relaxed);
+      } else {
+        out[i + w] = std::nullopt;
+      }
+    }
+  }
 }
 
 bool BPlusTree::insert(Key k, Value v) {
@@ -102,9 +116,7 @@ std::optional<BPlusTree::SplitResult> BPlusTree::insert_rec(Node* node, Key k,
                                                             bool& inserted) {
   if (node->leaf) {
     auto* leaf = static_cast<Leaf*>(node);
-    int pos = static_cast<int>(
-        std::lower_bound(leaf->keys, leaf->keys + leaf->count, k) -
-        leaf->keys);
+    int pos = leaf_lower_bound(leaf, k);
     if (pos < leaf->count && leaf->keys[pos] == k) {
       inserted = false;
       return std::nullopt;
@@ -117,22 +129,32 @@ std::optional<BPlusTree::SplitResult> BPlusTree::insert_rec(Node* node, Key k,
     leaf->vals[pos] = v;
     ++leaf->count;
     inserted = true;
-    if (leaf->count <= kMaxEntries) return std::nullopt;
+    if (leaf->count <= kMaxEntries) {
+      sync_router(leaf->router, leaf->keys);
+      return std::nullopt;
+    }
 
-    // Split: right sibling takes the upper half.
+    // Split: right sibling takes the upper half — or, when the overflow was
+    // a pure append (sequential load), just the minimum legal tail, so
+    // sealed leaves stay ~88% full (btree_core::append_split_keep).
     auto* right = new Leaf();
-    int keep = leaf->count / 2;
+    int keep = pos == leaf->count - 1
+                   ? btree_core::append_split_keep(leaf->count)
+                   : leaf->count / 2;
     right->count = leaf->count - keep;
     std::copy(leaf->keys + keep, leaf->keys + leaf->count, right->keys);
     std::copy(leaf->vals + keep, leaf->vals + leaf->count, right->vals);
     leaf->count = keep;
+    pad_tail(leaf->keys, keep);
+    sync_router(leaf->router, leaf->keys);
+    sync_router(right->router, right->keys);
     right->next = leaf->next;
     leaf->next = right;
     return SplitResult{right->keys[0], right};
   }
 
   auto* inner = static_cast<Inner*>(node);
-  int idx = child_index(inner->keys, inner->count, k);
+  int idx = btree_core::child_index(inner, k);
   auto child_split = insert_rec(inner->child[idx], k, v, inserted);
   if (!child_split) return std::nullopt;
 
@@ -144,17 +166,26 @@ std::optional<BPlusTree::SplitResult> BPlusTree::insert_rec(Node* node, Key k,
   inner->keys[idx] = child_split->separator;
   inner->child[idx + 1] = child_split->right;
   ++inner->count;
-  if (inner->count <= kMaxEntries) return std::nullopt;
+  if (inner->count <= kMaxEntries) {
+    sync_router(inner->router, inner->keys);
+    return std::nullopt;
+  }
 
-  // Split the inner node: the middle key moves up.
+  // Split the inner node: the key at `mid` moves up.  Append-driven
+  // overflows split at the insertion point like leaves do.
   auto* right = new Inner();
-  int mid = inner->count / 2;
+  int mid = idx == inner->count - 1
+                ? btree_core::append_split_keep(inner->count) - 1
+                : inner->count / 2;
   Key up = inner->keys[mid];
   right->count = inner->count - mid - 1;
   std::copy(inner->keys + mid + 1, inner->keys + inner->count, right->keys);
   std::copy(inner->child + mid + 1, inner->child + inner->count + 1,
             right->child);
   inner->count = mid;
+  pad_tail(inner->keys, mid);
+  sync_router(inner->router, inner->keys);
+  sync_router(right->router, right->keys);
   return SplitResult{up, right};
 }
 
@@ -173,7 +204,7 @@ bool BPlusTree::erase(Key k) {
 bool BPlusTree::erase_rec(Node* node, Key k, bool& erased) {
   if (node->leaf) {
     auto* leaf = static_cast<Leaf*>(node);
-    int pos = leaf_find(leaf->keys, leaf->count, k);
+    int pos = leaf_find_eq(leaf, k);
     if (pos < 0) {
       erased = false;
       return false;
@@ -183,12 +214,14 @@ bool BPlusTree::erase_rec(Node* node, Key k, bool& erased) {
       leaf->vals[i] = leaf->vals[i + 1];
     }
     --leaf->count;
+    leaf->keys[leaf->count] = kInfKey;
+    sync_router(leaf->router, leaf->keys);
     erased = true;
     return leaf->count < kMinEntries;
   }
 
   auto* inner = static_cast<Inner*>(node);
-  int idx = child_index(inner->keys, inner->count, k);
+  int idx = btree_core::child_index(inner, k);
   bool under = erase_rec(inner->child[idx], k, erased);
   if (under) rebalance_child(inner, idx);
   return inner->count < kMinEntries;
@@ -213,7 +246,11 @@ void BPlusTree::rebalance_child(Inner* parent, int idx) {
       cur->vals[0] = l->vals[l->count - 1];
       ++cur->count;
       --l->count;
+      l->keys[l->count] = kInfKey;
+      sync_router(cur->router, cur->keys);
+      sync_router(l->router, l->keys);
       parent->keys[idx - 1] = cur->keys[0];
+      sync_router(parent->router, parent->keys);
       return;
     }
     if (r && r->count > kMinEntries) {
@@ -226,7 +263,11 @@ void BPlusTree::rebalance_child(Inner* parent, int idx) {
         r->vals[i] = r->vals[i + 1];
       }
       --r->count;
+      r->keys[r->count] = kInfKey;
+      sync_router(cur->router, cur->keys);
+      sync_router(r->router, r->keys);
       parent->keys[idx] = r->keys[0];
+      sync_router(parent->router, parent->keys);
       return;
     }
     // Merge with a sibling (prefer left).
@@ -236,6 +277,7 @@ void BPlusTree::rebalance_child(Inner* parent, int idx) {
     std::copy(src->keys, src->keys + src->count, dst->keys + dst->count);
     std::copy(src->vals, src->vals + src->count, dst->vals + dst->count);
     dst->count += src->count;
+    sync_router(dst->router, dst->keys);
     dst->next = src->next;
     delete src;
     for (int i = sep; i < parent->count - 1; ++i) {
@@ -243,6 +285,8 @@ void BPlusTree::rebalance_child(Inner* parent, int idx) {
       parent->child[i + 1] = parent->child[i + 2];
     }
     --parent->count;
+    parent->keys[parent->count] = kInfKey;
+    sync_router(parent->router, parent->keys);
     return;
   }
 
@@ -261,6 +305,10 @@ void BPlusTree::rebalance_child(Inner* parent, int idx) {
     ++cur->count;
     parent->keys[idx - 1] = l->keys[l->count - 1];
     --l->count;
+    l->keys[l->count] = kInfKey;
+    sync_router(cur->router, cur->keys);
+    sync_router(l->router, l->keys);
+    sync_router(parent->router, parent->keys);
     return;
   }
   if (r && r->count > kMinEntries) {
@@ -275,6 +323,10 @@ void BPlusTree::rebalance_child(Inner* parent, int idx) {
     }
     r->child[r->count - 1] = r->child[r->count];
     --r->count;
+    r->keys[r->count] = kInfKey;
+    sync_router(cur->router, cur->keys);
+    sync_router(r->router, r->keys);
+    sync_router(parent->router, parent->keys);
     return;
   }
   // Merge: left + separator + current (or current + separator + right).
@@ -286,27 +338,24 @@ void BPlusTree::rebalance_child(Inner* parent, int idx) {
   std::copy(src->child, src->child + src->count + 1,
             dst->child + dst->count + 1);
   dst->count += src->count + 1;
+  sync_router(dst->router, dst->keys);
   delete src;
   for (int i = sep; i < parent->count - 1; ++i) {
     parent->keys[i] = parent->keys[i + 1];
     parent->child[i + 1] = parent->child[i + 2];
   }
   --parent->count;
+  parent->keys[parent->count] = kInfKey;
+  sync_router(parent->router, parent->keys);
 }
 
 void BPlusTree::for_each(const std::function<void(Key, Value)>& fn) const {
-  Node* node = root_;
-  while (!node->leaf) node = static_cast<Inner*>(node)->child[0];
-  for (auto* leaf = static_cast<Leaf*>(node); leaf; leaf = leaf->next) {
-    for (int i = 0; i < leaf->count; ++i) fn(leaf->keys[i], leaf->vals[i]);
-  }
+  for_each<const std::function<void(Key, Value)>&>(fn);
 }
 
 std::uint64_t BPlusTree::digest() const {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for_each([&h](Key k, Value v) {
-    h = util::mix64(h ^ util::mix64(k) ^ (v * 0x9e3779b97f4a7c15ULL));
-  });
+  std::uint64_t h = util::kFoldSeed;
+  for_each([&h](Key k, Value v) { h = util::fold_kv(h, k, v); });
   return h;
 }
 
@@ -346,6 +395,7 @@ bool BPlusTree::validate_rec(const Node* node, int depth, int leaf_depth,
     auto* leaf = static_cast<const Leaf*>(node);
     if (!is_root && leaf->count < kMinEntries) return false;
     if (leaf->count > kMaxEntries) return false;
+    if (!layout_ok(leaf)) return false;
     for (int i = 0; i < leaf->count; ++i) {
       if (i > 0 && leaf->keys[i - 1] >= leaf->keys[i]) return false;
       if (lo && leaf->keys[i] < *lo) return false;
@@ -357,6 +407,7 @@ bool BPlusTree::validate_rec(const Node* node, int depth, int leaf_depth,
   if (!is_root && inner->count < kMinEntries) return false;
   if (is_root && inner->count < 1) return false;
   if (inner->count > kMaxEntries) return false;
+  if (!layout_ok(inner)) return false;
   for (int i = 0; i < inner->count; ++i) {
     if (i > 0 && inner->keys[i - 1] >= inner->keys[i]) return false;
     if (lo && inner->keys[i] < *lo) return false;

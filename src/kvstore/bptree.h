@@ -8,15 +8,28 @@
 // run in parallel.  To keep those parallel accesses well-defined, leaf
 // values are accessed through std::atomic_ref — updates change a single
 // leaf slot in place and never restructure the tree, exactly the property
-// the paper's C-Dep relies on.
+// the paper's C-Dep relies on.  range_scan() walks the leaf chain under the
+// same contract: safe concurrently with find()/update(), never with
+// insert()/erase().
+//
+// The node layout, intra-node search and prefetching descent live in
+// kvstore/btree_core.h (shared with the lock-based variant): 128-key nodes
+// with an in-header stride-16 micro-router, inf-padded cache-line-aligned
+// key arrays separate from child pointers/values, branchless two-wave
+// search, and candidate child/value prefetch between the waves.
+// find_batch() additionally pipelines independent lookups in lockstep so
+// their miss chains overlap (multi-get).
 //
 // The lock-based concurrent variant used by the BDB-style server lives in
 // concurrent_bptree.h.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
+
+#include "kvstore/btree_core.h"
 
 namespace psmr::kvstore {
 
@@ -25,9 +38,9 @@ class BPlusTree {
   using Key = std::uint64_t;
   using Value = std::uint64_t;
 
-  /// Max entries per leaf and max keys per inner node.
-  static constexpr int kMaxEntries = 64;
-  static constexpr int kMinEntries = kMaxEntries / 2;
+  /// Max entries per leaf and max keys per inner node (btree_core layout).
+  static constexpr int kMaxEntries = btree_core::kMaxEntries;
+  static constexpr int kMinEntries = btree_core::kMinEntries;
 
   BPlusTree();
   ~BPlusTree();
@@ -47,10 +60,65 @@ class BPlusTree {
   /// find()/update() on any keys.
   bool update(Key k, Value v);
 
+  /// Lanes resolved together by find_batch.  Sized past the memory-level
+  /// parallelism a core can sustain (~8-16 outstanding misses), measured
+  /// best on the reference host at 16.
+  static constexpr std::size_t kBatchWidth = 16;
+
+  /// Software-pipelined multi-lookup: out[i] = find(keys[i]).  Descends up
+  /// to kBatchWidth lookups in lockstep waves (all router fetches, then all
+  /// segment probes), so the dependent cache/TLB misses of *different*
+  /// lookups overlap — on a deep-memory host a batch resolves in a small
+  /// multiple of one lookup's latency.  The replica executes delivered
+  /// command batches, which is exactly this shape (multi-get).  Same
+  /// concurrency contract as find().
+  void find_batch(const Key* keys, std::size_t n,
+                  std::optional<Value>* out) const;
+
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] bool empty() const { return size_ == 0; }
 
-  /// In-order traversal (ascending keys).
+  /// Leaf-chain range scan: visits every (k, v) with lo <= k <= hi in
+  /// ascending key order and returns the number of entries visited.
+  /// Values are read through std::atomic_ref, so a scan is a multi-key
+  /// read: safe concurrently with find()/update() on any keys, never with
+  /// insert()/erase() (the C-Dep must order it like a read).
+  template <typename Fn>
+  std::size_t range_scan(Key lo, Key hi, Fn&& fn) const {
+    Leaf* leaf = find_leaf(lo);
+    int i = btree_core::leaf_lower_bound(leaf, lo);
+    std::size_t n = 0;
+    while (leaf != nullptr) {
+      for (; i < leaf->count; ++i) {
+        if (leaf->keys[i] > hi) return n;
+        fn(leaf->keys[i],
+           std::atomic_ref<Value>(leaf->vals[i])
+               .load(std::memory_order_relaxed));
+        ++n;
+      }
+      leaf = leaf->next;
+      // Next leaf in the chain: prefetch its header and first key lines.
+      if (leaf != nullptr) {
+        btree_core::prefetch_range(leaf, 3 * btree_core::kCacheLine);
+      }
+      i = 0;
+    }
+    return n;
+  }
+
+  /// In-order traversal (ascending keys).  The template form inlines the
+  /// visitor into the leaf walk — it is the digest/convergence hot path.
+  /// Quiesced-only (no atomic value loads), like digest()/validate().
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    const Node* node = root_;
+    while (!node->leaf) node = static_cast<const Inner*>(node)->child[0];
+    for (auto* leaf = static_cast<const Leaf*>(node); leaf != nullptr;
+         leaf = leaf->next) {
+      for (int i = 0; i < leaf->count; ++i) fn(leaf->keys[i], leaf->vals[i]);
+    }
+  }
+  /// Type-erased overload for callers that store the visitor.
   void for_each(const std::function<void(Key, Value)>& fn) const;
 
   /// Order-sensitive digest of the full contents (replica convergence).
@@ -64,11 +132,37 @@ class BPlusTree {
   [[nodiscard]] int height() const;
 
  private:
-  struct Node;
-  struct Leaf;
-  struct Inner;
+  // Cache-conscious layout (btree_core): kind/count plus the stride-16
+  // micro-router fill exactly one cache line; the inf-padded key array
+  // starts aligned on the next, with children/values in trailing arrays.
+  // A search touches the header line and one two-line key segment.
+  struct alignas(btree_core::kCacheLine) Node {
+    bool leaf;
+    int count = 0;  // entries (leaf) or separator keys (inner)
+    Key router[btree_core::kNumRouters];
+    explicit Node(bool is_leaf) : leaf(is_leaf) {
+      for (Key& r : router) r = btree_core::kInfKey;
+    }
+  };
+  struct Leaf : Node {
+    alignas(btree_core::kCacheLine) Key keys[kMaxEntries + 1];
+    Value vals[kMaxEntries + 1];
+    Leaf* next = nullptr;
+    Leaf() : Node(true) { btree_core::pad_tail(keys, 0); }
+  };
+  struct Inner : Node {
+    alignas(btree_core::kCacheLine) Key keys[kMaxEntries + 1];
+    Node* child[kMaxEntries + 2] = {};
+    Inner() : Node(false) { btree_core::pad_tail(keys, 0); }
+  };
+  static_assert(sizeof(Node) == btree_core::kCacheLine,
+                "header+router must fill exactly one cache line");
 
-  Leaf* find_leaf(Key k) const;
+  /// Prefetching descent to the leaf whose separator range covers k.
+  Leaf* find_leaf(Key k) const {
+    return btree_core::descend_to_leaf<Leaf, Inner>(root_, k);
+  }
+
   // Insert into subtree; returns {separator, new right sibling} on split.
   struct SplitResult {
     Key separator;

@@ -8,37 +8,14 @@
 
 namespace psmr::kvstore {
 
-struct ConcurrentBPlusTree::Node {
-  mutable std::shared_mutex latch;
-  bool leaf;
-  int count = 0;
-  explicit Node(bool is_leaf) : leaf(is_leaf) {}
-};
-
-struct ConcurrentBPlusTree::Leaf : Node {
-  Key keys[kMaxEntries + 1];
-  Value vals[kMaxEntries + 1];
-  Leaf* next = nullptr;
-  Leaf() : Node(true) {}
-};
-
-struct ConcurrentBPlusTree::Inner : Node {
-  Key keys[kMaxEntries + 1];
-  Node* child[kMaxEntries + 2] = {};
-  Inner() : Node(false) {}
-};
-
 namespace {
-int child_index(const ConcurrentBPlusTree::Key* keys, int count,
-                ConcurrentBPlusTree::Key k) {
-  return static_cast<int>(std::upper_bound(keys, keys + count, k) - keys);
-}
-int leaf_find(const ConcurrentBPlusTree::Key* keys, int count,
-              ConcurrentBPlusTree::Key k) {
-  auto it = std::lower_bound(keys, keys + count, k);
-  if (it != keys + count && *it == k) return static_cast<int>(it - keys);
-  return -1;
-}
+using btree_core::child_index;
+using btree_core::kInfKey;
+using btree_core::layout_ok;
+using btree_core::leaf_find_eq;
+using btree_core::leaf_lower_bound;
+using btree_core::pad_tail;
+using btree_core::sync_router;
 }  // namespace
 
 ConcurrentBPlusTree::ConcurrentBPlusTree() : root_(new Leaf()) {}
@@ -63,13 +40,13 @@ std::optional<ConcurrentBPlusTree::Value> ConcurrentBPlusTree::find(
   root_guard.unlock();
   while (!node->leaf) {
     auto* inner = static_cast<Inner*>(node);
-    Node* child = inner->child[child_index(inner->keys, inner->count, k)];
+    Node* child = inner->child[child_index(inner, k)];
     child->latch.lock_shared();
     node->latch.unlock_shared();
     node = child;
   }
   auto* leaf = static_cast<Leaf*>(node);
-  int pos = leaf_find(leaf->keys, leaf->count, k);
+  int pos = leaf_find_eq(leaf, k);
   std::optional<Value> out;
   if (pos >= 0) out = leaf->vals[pos];
   leaf->latch.unlock_shared();
@@ -87,7 +64,7 @@ bool ConcurrentBPlusTree::update(Key k, Value v) {
   root_guard.unlock();
   while (!node->leaf) {
     auto* inner = static_cast<Inner*>(node);
-    Node* child = inner->child[child_index(inner->keys, inner->count, k)];
+    Node* child = inner->child[child_index(inner, k)];
     if (child->leaf) {
       child->latch.lock();
     } else {
@@ -97,7 +74,7 @@ bool ConcurrentBPlusTree::update(Key k, Value v) {
     node = child;
   }
   auto* leaf = static_cast<Leaf*>(node);
-  int pos = leaf_find(leaf->keys, leaf->count, k);
+  int pos = leaf_find_eq(leaf, k);
   bool ok = pos >= 0;
   if (ok) leaf->vals[pos] = v;
   leaf->latch.unlock();
@@ -122,7 +99,7 @@ bool ConcurrentBPlusTree::insert(Key k, Value v) {
   }
   while (!node->leaf) {
     auto* inner = static_cast<Inner*>(node);
-    Node* child = inner->child[child_index(inner->keys, inner->count, k)];
+    Node* child = inner->child[child_index(inner, k)];
     child->latch.lock();
     if (child->count < kMaxEntries) {
       // Child is safe: no split can propagate above it.
@@ -143,8 +120,7 @@ bool ConcurrentBPlusTree::insert(Key k, Value v) {
   };
 
   auto* leaf = static_cast<Leaf*>(node);
-  int pos = static_cast<int>(
-      std::lower_bound(leaf->keys, leaf->keys + leaf->count, k) - leaf->keys);
+  int pos = leaf_lower_bound(leaf, k);
   if (pos < leaf->count && leaf->keys[pos] == k) {
     unlock_all();
     return false;
@@ -161,13 +137,21 @@ bool ConcurrentBPlusTree::insert(Key k, Value v) {
   // Propagate splits up the retained (locked) path.
   Key sep = 0;
   Node* right = nullptr;
-  if (leaf->count > kMaxEntries) {
+  if (leaf->count <= kMaxEntries) {
+    sync_router(leaf->router, leaf->keys);
+  } else {
+    // Append-driven overflows keep ~88% on the left (btree_core comment).
     auto* r = new Leaf();
-    int keep = leaf->count / 2;
+    int keep = pos == leaf->count - 1
+                   ? btree_core::append_split_keep(leaf->count)
+                   : leaf->count / 2;
     r->count = leaf->count - keep;
     std::copy(leaf->keys + keep, leaf->keys + leaf->count, r->keys);
     std::copy(leaf->vals + keep, leaf->vals + leaf->count, r->vals);
     leaf->count = keep;
+    pad_tail(leaf->keys, keep);
+    sync_router(leaf->router, leaf->keys);
+    sync_router(r->router, r->keys);
     r->next = leaf->next;
     leaf->next = r;
     sep = r->keys[0];
@@ -177,7 +161,7 @@ bool ConcurrentBPlusTree::insert(Key k, Value v) {
   for (int i = static_cast<int>(locked.size()) - 2; i >= 0 && right != nullptr;
        --i) {
     auto* inner = static_cast<Inner*>(locked[static_cast<std::size_t>(i)]);
-    int idx = child_index(inner->keys, inner->count, k);
+    int idx = child_index(inner, k);
     for (int j = inner->count; j > idx; --j) {
       inner->keys[j] = inner->keys[j - 1];
       inner->child[j + 1] = inner->child[j];
@@ -186,15 +170,22 @@ bool ConcurrentBPlusTree::insert(Key k, Value v) {
     inner->child[idx + 1] = right;
     ++inner->count;
     right = nullptr;
-    if (inner->count > kMaxEntries) {
+    if (inner->count <= kMaxEntries) {
+      sync_router(inner->router, inner->keys);
+    } else {
       auto* r = new Inner();
-      int mid = inner->count / 2;
+      int mid = idx == inner->count - 1
+                    ? btree_core::append_split_keep(inner->count) - 1
+                    : inner->count / 2;
       Key up = inner->keys[mid];
       r->count = inner->count - mid - 1;
       std::copy(inner->keys + mid + 1, inner->keys + inner->count, r->keys);
       std::copy(inner->child + mid + 1, inner->child + inner->count + 1,
                 r->child);
       inner->count = mid;
+      pad_tail(inner->keys, mid);
+      sync_router(inner->router, inner->keys);
+      sync_router(r->router, r->keys);
       sep = up;
       right = r;
     }
@@ -237,7 +228,7 @@ bool ConcurrentBPlusTree::erase(Key k) {
   std::vector<int> path_idx;
   while (!node->leaf) {
     auto* inner = static_cast<Inner*>(node);
-    int idx = child_index(inner->keys, inner->count, k);
+    int idx = child_index(inner, k);
     Node* child = inner->child[idx];
     child->latch.lock();
     if (child->count > kMinEntries) {
@@ -266,7 +257,7 @@ bool ConcurrentBPlusTree::erase(Key k) {
   };
 
   auto* leaf = static_cast<Leaf*>(node);
-  int pos = leaf_find(leaf->keys, leaf->count, k);
+  int pos = leaf_find_eq(leaf, k);
   if (pos < 0) {
     unlock_all();
     return false;
@@ -276,6 +267,8 @@ bool ConcurrentBPlusTree::erase(Key k) {
     leaf->vals[i] = leaf->vals[i + 1];
   }
   --leaf->count;
+  leaf->keys[leaf->count] = kInfKey;
+  sync_router(leaf->router, leaf->keys);
   size_.fetch_sub(1, std::memory_order_relaxed);
 
   // Rebalance bottom-up through the retained path.  locked[0] is the
@@ -330,19 +323,26 @@ ConcurrentBPlusTree::Node* ConcurrentBPlusTree::rebalance_child_locked(
         cur->vals[0] = l->vals[l->count - 1];
         ++cur->count;
         --l->count;
+        l->keys[l->count] = kInfKey;
+        sync_router(cur->router, cur->keys);
+        sync_router(l->router, l->keys);
         parent->keys[idx - 1] = cur->keys[0];
+        sync_router(parent->router, parent->keys);
         return nullptr;
       }
       // Merge cur into left.
       std::copy(cur->keys, cur->keys + cur->count, l->keys + l->count);
       std::copy(cur->vals, cur->vals + cur->count, l->vals + l->count);
       l->count += cur->count;
+      sync_router(l->router, l->keys);
       l->next = cur->next;
       for (int i = idx - 1; i < parent->count - 1; ++i) {
         parent->keys[i] = parent->keys[i + 1];
         parent->child[i + 1] = parent->child[i + 2];
       }
       --parent->count;
+      parent->keys[parent->count] = kInfKey;
+      sync_router(parent->router, parent->keys);
       cur->latch.unlock();  // held by the caller; released before delete
       delete cur;
       return cur;
@@ -358,19 +358,26 @@ ConcurrentBPlusTree::Node* ConcurrentBPlusTree::rebalance_child_locked(
         r->vals[i] = r->vals[i + 1];
       }
       --r->count;
+      r->keys[r->count] = kInfKey;
+      sync_router(cur->router, cur->keys);
+      sync_router(r->router, r->keys);
       parent->keys[idx] = r->keys[0];
+      sync_router(parent->router, parent->keys);
       return nullptr;
     }
     // Merge right into cur.
     std::copy(r->keys, r->keys + r->count, cur->keys + cur->count);
     std::copy(r->vals, r->vals + r->count, cur->vals + cur->count);
     cur->count += r->count;
+    sync_router(cur->router, cur->keys);
     cur->next = r->next;
     for (int i = idx; i < parent->count - 1; ++i) {
       parent->keys[i] = parent->keys[i + 1];
       parent->child[i + 1] = parent->child[i + 2];
     }
     --parent->count;
+    parent->keys[parent->count] = kInfKey;
+    sync_router(parent->router, parent->keys);
     sib.unlock();
     delete r;
     return r;
@@ -392,6 +399,10 @@ ConcurrentBPlusTree::Node* ConcurrentBPlusTree::rebalance_child_locked(
       ++cur->count;
       parent->keys[idx - 1] = l->keys[l->count - 1];
       --l->count;
+      l->keys[l->count] = kInfKey;
+      sync_router(cur->router, cur->keys);
+      sync_router(l->router, l->keys);
+      sync_router(parent->router, parent->keys);
       return nullptr;
     }
     // Merge cur into left through the separator.
@@ -400,11 +411,14 @@ ConcurrentBPlusTree::Node* ConcurrentBPlusTree::rebalance_child_locked(
     std::copy(cur->child, cur->child + cur->count + 1,
               l->child + l->count + 1);
     l->count += cur->count + 1;
+    sync_router(l->router, l->keys);
     for (int i = idx - 1; i < parent->count - 1; ++i) {
       parent->keys[i] = parent->keys[i + 1];
       parent->child[i + 1] = parent->child[i + 2];
     }
     --parent->count;
+    parent->keys[parent->count] = kInfKey;
+    sync_router(parent->router, parent->keys);
     cur->latch.unlock();
     delete cur;
     return cur;
@@ -423,6 +437,10 @@ ConcurrentBPlusTree::Node* ConcurrentBPlusTree::rebalance_child_locked(
     }
     r->child[r->count - 1] = r->child[r->count];
     --r->count;
+    r->keys[r->count] = kInfKey;
+    sync_router(cur->router, cur->keys);
+    sync_router(r->router, r->keys);
+    sync_router(parent->router, parent->keys);
     return nullptr;
   }
   // Merge right into cur through the separator.
@@ -430,11 +448,14 @@ ConcurrentBPlusTree::Node* ConcurrentBPlusTree::rebalance_child_locked(
   std::copy(r->keys, r->keys + r->count, cur->keys + cur->count + 1);
   std::copy(r->child, r->child + r->count + 1, cur->child + cur->count + 1);
   cur->count += r->count + 1;
+  sync_router(cur->router, cur->keys);
   for (int i = idx; i < parent->count - 1; ++i) {
     parent->keys[i] = parent->keys[i + 1];
     parent->child[i + 1] = parent->child[i + 2];
   }
   --parent->count;
+  parent->keys[parent->count] = kInfKey;
+  sync_router(parent->router, parent->keys);
   sib.unlock();
   delete r;
   return r;
@@ -442,18 +463,12 @@ ConcurrentBPlusTree::Node* ConcurrentBPlusTree::rebalance_child_locked(
 
 void ConcurrentBPlusTree::for_each(
     const std::function<void(Key, Value)>& fn) const {
-  Node* node = root_;
-  while (!node->leaf) node = static_cast<Inner*>(node)->child[0];
-  for (auto* leaf = static_cast<Leaf*>(node); leaf; leaf = leaf->next) {
-    for (int i = 0; i < leaf->count; ++i) fn(leaf->keys[i], leaf->vals[i]);
-  }
+  for_each<const std::function<void(Key, Value)>&>(fn);
 }
 
 std::uint64_t ConcurrentBPlusTree::digest() const {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for_each([&h](Key k, Value v) {
-    h = util::mix64(h ^ util::mix64(k) ^ (v * 0x9e3779b97f4a7c15ULL));
-  });
+  std::uint64_t h = util::kFoldSeed;
+  for_each([&h](Key k, Value v) { h = util::fold_kv(h, k, v); });
   return h;
 }
 
@@ -491,6 +506,7 @@ bool ConcurrentBPlusTree::validate_rec(const Node* node, int depth,
     auto* leaf = static_cast<const Leaf*>(node);
     if (!is_root && leaf->count < kMinEntries) return false;
     if (leaf->count > kMaxEntries) return false;
+    if (!layout_ok(leaf)) return false;
     for (int i = 0; i < leaf->count; ++i) {
       if (i > 0 && leaf->keys[i - 1] >= leaf->keys[i]) return false;
       if (lo && leaf->keys[i] < *lo) return false;
@@ -502,6 +518,7 @@ bool ConcurrentBPlusTree::validate_rec(const Node* node, int depth,
   if (!is_root && inner->count < kMinEntries) return false;
   if (is_root && inner->count < 1) return false;
   if (inner->count > kMaxEntries) return false;
+  if (!layout_ok(inner)) return false;
   for (int i = 0; i < inner->count; ++i) {
     if (i > 0 && inner->keys[i - 1] >= inner->keys[i]) return false;
   }

@@ -15,6 +15,20 @@
 // scope while preserving the per-node latching cost profile that the BDB
 // comparison is about.
 //
+// Node layout, intra-node search and descent prefetching are shared with
+// the single-writer tree through kvstore/btree_core.h: 128-key nodes,
+// cache-line-aligned key arrays separate from child pointers/values,
+// branchless binary search, and child-key prefetch issued before each latch
+// acquisition (the prefetch overlaps the latch handoff).
+//
+// range_scan() is deadlock-free by construction: it never couples latches
+// sideways along the leaf chain (a scanner holding leaf L while waiting for
+// L->next would deadlock against an eraser merging L->next into L).
+// Instead it re-descends for each leaf, using the separator bound recorded
+// on the way down as the next cursor.  Each leaf is observed atomically;
+// the scan as a whole is not a snapshot (BDB read-committed cursor
+// semantics).
+//
 // for_each/digest/validate are NOT thread-safe; call them on a quiesced
 // tree (they exist for tests and state checks).
 #pragma once
@@ -26,6 +40,8 @@
 #include <optional>
 #include <shared_mutex>
 
+#include "kvstore/btree_core.h"
+
 namespace psmr::kvstore {
 
 class ConcurrentBPlusTree {
@@ -33,8 +49,8 @@ class ConcurrentBPlusTree {
   using Key = std::uint64_t;
   using Value = std::uint64_t;
 
-  static constexpr int kMaxEntries = 64;
-  static constexpr int kMinEntries = kMaxEntries / 2;
+  static constexpr int kMaxEntries = btree_core::kMaxEntries;
+  static constexpr int kMinEntries = btree_core::kMinEntries;
 
   ConcurrentBPlusTree();
   ~ConcurrentBPlusTree();
@@ -51,19 +67,103 @@ class ConcurrentBPlusTree {
   /// Thread-safe in-place value replacement; false if the key is missing.
   bool update(Key k, Value v);
 
+  /// Thread-safe range scan: visits every (k, v) with lo <= k <= hi in
+  /// ascending key order and returns the number of entries visited.  Each
+  /// leaf is read under its shared latch (atomic per leaf); concurrent
+  /// structural writers may slide keys between the per-leaf steps, so the
+  /// scan is not a snapshot (see the file comment).
+  template <typename Fn>
+  std::size_t range_scan(Key lo, Key hi, Fn&& fn) const {
+    std::size_t n = 0;
+    Key cursor = lo;
+    while (true) {
+      // Latch-coupled descent to the leaf whose separator range covers
+      // `cursor`, tracking the tightest upper separator bound on the path:
+      // every key of the *next* leaf is >= that bound.
+      std::shared_lock root_guard(root_latch_);
+      Node* node = root_;
+      node->latch.lock_shared();
+      root_guard.unlock();
+      std::optional<Key> upper;
+      while (!node->leaf) {
+        auto* inner = static_cast<Inner*>(node);
+        int idx = btree_core::child_index(inner, cursor);
+        if (idx < inner->count) upper = inner->keys[idx];
+        Node* child = inner->child[idx];
+        child->latch.lock_shared();
+        node->latch.unlock_shared();
+        node = child;
+      }
+      auto* leaf = static_cast<Leaf*>(node);
+      for (int i = btree_core::leaf_lower_bound(leaf, cursor);
+           i < leaf->count; ++i) {
+        if (leaf->keys[i] > hi) {
+          leaf->latch.unlock_shared();
+          return n;
+        }
+        fn(leaf->keys[i], leaf->vals[i]);
+        ++n;
+      }
+      leaf->latch.unlock_shared();
+      // Re-descend for the next leaf; its keys are >= `upper`, which
+      // strictly exceeds every key covered so far (guaranteed progress).
+      if (!upper || *upper > hi) return n;
+      cursor = *upper;
+    }
+  }
+
   [[nodiscard]] std::size_t size() const {
     return size_.load(std::memory_order_relaxed);
   }
 
-  /// Quiesced-only helpers (tests / state digests).
+  /// Quiesced-only traversal (tests / state digests).  The template form
+  /// inlines the visitor into the leaf walk (digest hot path).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    const Node* node = root_;
+    while (!node->leaf) node = static_cast<const Inner*>(node)->child[0];
+    for (auto* leaf = static_cast<const Leaf*>(node); leaf != nullptr;
+         leaf = leaf->next) {
+      for (int i = 0; i < leaf->count; ++i) fn(leaf->keys[i], leaf->vals[i]);
+    }
+  }
+  /// Type-erased overload for callers that store the visitor.
   void for_each(const std::function<void(Key, Value)>& fn) const;
   [[nodiscard]] std::uint64_t digest() const;
   [[nodiscard]] bool validate() const;
 
  private:
-  struct Node;
-  struct Leaf;
-  struct Inner;
+  // Shared cache-conscious layout (btree_core).  Unlike the single-writer
+  // tree, the latch fills most of the first cache line, so the stride-16
+  // micro-router gets a line of its own; the inf-padded key array starts
+  // aligned after it, separate from child pointers / values.
+  struct alignas(btree_core::kCacheLine) Node {
+    mutable std::shared_mutex latch;
+    bool leaf;
+    int count = 0;
+    alignas(btree_core::kCacheLine) Key router[btree_core::kNumRouters];
+    explicit Node(bool is_leaf) : leaf(is_leaf) {
+      for (Key& r : router) r = btree_core::kInfKey;
+    }
+  };
+  struct Leaf : Node {
+    alignas(btree_core::kCacheLine) Key keys[kMaxEntries + 1];
+    Value vals[kMaxEntries + 1];
+    Leaf* next = nullptr;
+    Leaf() : Node(true) { btree_core::pad_tail(keys, 0); }
+  };
+  struct Inner : Node {
+    alignas(btree_core::kCacheLine) Key keys[kMaxEntries + 1];
+    Node* child[kMaxEntries + 2] = {};
+    Inner() : Node(false) { btree_core::pad_tail(keys, 0); }
+  };
+#if defined(__GLIBCXX__) && defined(__x86_64__)
+  // Layout check for the reference toolchain only: std::shared_mutex size
+  // varies across standard libraries (glibc 56B, libc++ much larger), and
+  // a fatter latch merely shifts the (still aligned) router/key lines.
+  static_assert(sizeof(Node) == 2 * btree_core::kCacheLine,
+                "latch header plus router should fill exactly two lines");
+#endif
 
   bool validate_rec(const Node* node, int depth, int leaf_depth,
                     std::optional<Key> lo, std::optional<Key> hi) const;

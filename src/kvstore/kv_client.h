@@ -5,6 +5,8 @@
 #pragma once
 
 #include <memory>
+#include <optional>
+#include <vector>
 
 #include "kvstore/kv_service.h"
 #include "smr/client.h"
@@ -35,6 +37,32 @@ class KvClient {
   /// update(in: k, v; out: err)
   KvStatus update(std::uint64_t k, std::uint64_t v) {
     return status_call(kKvUpdate, encode_key_value(k, v));
+  }
+  /// scan(in: lo, hi; out: count-xor-digest of the covered pairs).
+  /// The leaf-chain range read; replicas answer deterministically, so the
+  /// digest doubles as a convergence probe.
+  std::optional<std::uint64_t> scan(std::uint64_t lo, std::uint64_t hi) {
+    auto payload = proxy_->call(kKvScan, encode_key_range(lo, hi));
+    if (!payload) return std::nullopt;
+    auto res = decode_result(*payload);
+    if (res.status != kKvOk) return std::nullopt;
+    return res.value;
+  }
+  /// multi_read(in: keys; out: one value per key, in order).  Batched
+  /// point reads served by the tree's pipelined find_batch.  Empty on
+  /// timeout.
+  std::vector<std::optional<std::uint64_t>> multi_read(
+      const std::vector<std::uint64_t>& keys) {
+    auto payload = proxy_->call(kKvMultiRead, encode_keys(keys));
+    if (!payload) return {};
+    auto res = decode_multi_result(*payload);
+    std::vector<std::optional<std::uint64_t>> out;
+    out.reserve(res.entries.size());
+    for (const KvResult& e : res.entries) {
+      out.push_back(e.status == kKvOk ? std::optional<std::uint64_t>(e.value)
+                                      : std::nullopt);
+    }
+    return out;
   }
 
   /// The underlying proxy (for windowed asynchronous use).

@@ -1,5 +1,7 @@
 #include "kvstore/kv_service.h"
 
+#include "util/hash.h"
+
 namespace psmr::kvstore {
 
 util::Buffer encode_key(std::uint64_t k) {
@@ -12,6 +14,20 @@ util::Buffer encode_key_value(std::uint64_t k, std::uint64_t v) {
   util::Writer w;
   w.u64(k);
   w.u64(v);
+  return w.take();
+}
+
+util::Buffer encode_key_range(std::uint64_t lo, std::uint64_t hi) {
+  util::Writer w;
+  w.u64(lo);
+  w.u64(hi);
+  return w.take();
+}
+
+util::Buffer encode_keys(const std::vector<std::uint64_t>& keys) {
+  util::Writer w;
+  w.u32(static_cast<std::uint32_t>(keys.size()));
+  for (std::uint64_t k : keys) w.u64(k);
   return w.take();
 }
 
@@ -32,6 +48,30 @@ KvResult decode_result(const util::Buffer& payload) {
   KvResult res;
   res.status = static_cast<KvStatus>(r.u8());
   res.value = r.u64();
+  return res;
+}
+
+util::Buffer encode_multi_result(const KvMultiResult& res) {
+  util::Writer w;
+  w.u32(static_cast<std::uint32_t>(res.entries.size()));
+  for (const KvResult& e : res.entries) {
+    w.u8(e.status);
+    w.u64(e.value);
+  }
+  return w.take();
+}
+
+KvMultiResult decode_multi_result(const util::Buffer& payload) {
+  util::Reader r(payload);
+  KvMultiResult res;
+  std::uint32_t n = r.u32();
+  res.entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    KvResult e;
+    e.status = static_cast<KvStatus>(r.u8());
+    e.value = r.u64();
+    res.entries.push_back(e);
+  }
   return res;
 }
 
@@ -69,6 +109,50 @@ util::Buffer run_command(Tree& tree, const smr::Command& cmd) {
       res.status = tree.update(k, v) ? kKvOk : kKvNotFound;
       break;
     }
+    case kKvScan: {
+      // Leaf-chain fast path: fold the covered pairs into an
+      // order-sensitive digest (same mix as the tree digest) xor the count,
+      // so replicas can cross-check range contents in one round trip.
+      std::uint64_t lo = r.u64();
+      std::uint64_t hi = r.u64();
+      std::uint64_t h = util::kFoldSeed;
+      std::size_t n =
+          tree.range_scan(lo, hi, [&h](std::uint64_t k, std::uint64_t v) {
+            h = util::fold_kv(h, k, v);
+          });
+      res.value = h ^ n;
+      break;
+    }
+    case kKvMultiRead: {
+      std::uint32_t n = r.u32();
+      std::vector<std::uint64_t> keys(n);
+      for (auto& k : keys) k = r.u64();
+      KvMultiResult multi;
+      multi.entries.resize(n);
+      if constexpr (requires(std::optional<std::uint64_t>* out) {
+                      tree.find_batch(keys.data(), keys.size(), out);
+                    }) {
+        // Pipelined multi-get: the lookups' miss chains overlap.
+        std::vector<std::optional<std::uint64_t>> vals(n);
+        tree.find_batch(keys.data(), n, vals.data());
+        for (std::uint32_t i = 0; i < n; ++i) {
+          if (vals[i]) {
+            multi.entries[i].value = *vals[i];
+          } else {
+            multi.entries[i].status = kKvNotFound;
+          }
+        }
+      } else {
+        for (std::uint32_t i = 0; i < n; ++i) {
+          if (auto v = tree.find(keys[i])) {
+            multi.entries[i].value = *v;
+          } else {
+            multi.entries[i].status = kKvNotFound;
+          }
+        }
+      }
+      return encode_multi_result(multi);
+    }
     default:
       res.status = kKvNotFound;
   }
@@ -101,13 +185,19 @@ util::Buffer ConcurrentKvService::execute(const smr::Command& cmd) {
 smr::CDep kv_cdep() {
   smr::CDep dep;
   // Inserts and deletes depend on all commands (tree restructuring).
-  for (smr::CommandId other : {kKvInsert, kKvDelete, kKvRead, kKvUpdate}) {
+  for (smr::CommandId other :
+       {kKvInsert, kKvDelete, kKvRead, kKvUpdate, kKvScan, kKvMultiRead}) {
     dep.always(kKvInsert, other);
     dep.always(kKvDelete, other);
   }
   // An update on k depends on updates and reads on the same k.
   dep.same_key(kKvUpdate, kKvUpdate);
   dep.same_key(kKvUpdate, kKvRead);
+  // Scan/multi-read touch arbitrarily many keys, so they depend on every
+  // update (a same-key entry cannot express a key set); they are reads,
+  // so they stay independent of reads and of each other.
+  dep.always(kKvScan, kKvUpdate);
+  dep.always(kKvMultiRead, kKvUpdate);
   return dep;
 }
 
@@ -120,13 +210,13 @@ smr::KeyFn kv_key_fn() {
       case kKvUpdate:
         return decode_key(cmd.params);
       default:
-        return std::nullopt;
+        return std::nullopt;  // scan/multi-read carry no single key
     }
   };
 }
 
 std::shared_ptr<const smr::CGFunction> kv_keyed_cg(std::size_t k) {
-  return smr::from_cdep(kv_cdep(), k, kv_key_fn(), kKvUpdate);
+  return smr::from_cdep(kv_cdep(), k, kv_key_fn(), kKvMaxCommand);
 }
 
 std::shared_ptr<const smr::CGFunction> kv_coarse_cg(std::size_t k) {

@@ -8,9 +8,16 @@
 // all commands; an update on key k depends on other updates on k, on reads
 // on k, and on inserts and deletes" — because inserts/deletes may
 // restructure the B+-tree while reads/updates never do.
+//
+// Two multi-key read commands extend the paper's set: scan (leaf-chain
+// range read) and multi-read (pipelined batched point reads).  Both read
+// arbitrarily many keys, so they additionally depend on every update (a
+// per-key entry cannot cover a range); like all reads they never
+// restructure the tree.
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "kvstore/bptree.h"
 #include "kvstore/concurrent_bptree.h"
@@ -26,7 +33,15 @@ enum KvCommand : smr::CommandId {
   kKvDelete = 2,
   kKvRead = 3,
   kKvUpdate = 4,
+  /// Range scan [lo, hi]: returns the count and an order-sensitive digest
+  /// of the covered (key, value) pairs (leaf-chain fast path).
+  kKvScan = 5,
+  /// Multi-get: batched point reads resolved with the tree's pipelined
+  /// find_batch (one result per requested key).
+  kKvMultiRead = 6,
 };
+
+inline constexpr smr::CommandId kKvMaxCommand = kKvMultiRead;
 
 /// Error codes returned in responses.
 enum KvStatus : std::uint8_t {
@@ -39,15 +54,26 @@ enum KvStatus : std::uint8_t {
 
 util::Buffer encode_key(std::uint64_t k);
 util::Buffer encode_key_value(std::uint64_t k, std::uint64_t v);
-/// Reads the key parameter of any KV command.
+/// Scan parameters: inclusive key range.
+util::Buffer encode_key_range(std::uint64_t lo, std::uint64_t hi);
+/// Multi-read parameters: the list of requested keys.
+util::Buffer encode_keys(const std::vector<std::uint64_t>& keys);
+/// Reads the key parameter of any single-key KV command.
 std::uint64_t decode_key(const util::Buffer& params);
 
 struct KvResult {
   KvStatus status = kKvOk;
-  std::uint64_t value = 0;  // only meaningful for read
+  std::uint64_t value = 0;  // read: the value; scan: count ^ digest fold
 };
 util::Buffer encode_result(KvResult r);
 KvResult decode_result(const util::Buffer& payload);
+
+/// Multi-read response: one entry per requested key, in request order.
+struct KvMultiResult {
+  std::vector<KvResult> entries;
+};
+util::Buffer encode_multi_result(const KvMultiResult& r);
+KvMultiResult decode_multi_result(const util::Buffer& payload);
 
 // --- Service bindings ---
 

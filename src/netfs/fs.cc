@@ -101,12 +101,12 @@ int MemFs::open(const std::string& path, std::uint64_t& fh) {
   auto it = inodes_.find(*id);
   if (it->second.is_dir) return -EISDIR;
   fh = next_fh_++;
-  fd_table_.emplace(fh, *id);
+  fd_table_.insert(fh, *id);
   return 0;
 }
 
 int MemFs::release(std::uint64_t fh) {
-  return fd_table_.erase(fh) > 0 ? 0 : -EBADF;
+  return fd_table_.erase(fh) ? 0 : -EBADF;
 }
 
 int MemFs::opendir(const std::string& path, std::uint64_t& fh) {
@@ -115,7 +115,7 @@ int MemFs::opendir(const std::string& path, std::uint64_t& fh) {
   auto it = inodes_.find(*id);
   if (!it->second.is_dir) return -ENOTDIR;
   fh = next_fh_++;
-  fd_table_.emplace(fh, *id);
+  fd_table_.insert(fh, *id);
   return 0;
 }
 
@@ -211,9 +211,12 @@ std::uint64_t MemFs::digest() const {
       h = util::mix64(h ^ util::fnv1a(node.data));
     }
   }
-  for (const auto& [fh, id] : fd_table_) {
-    h ^= util::mix64(fh * 0x9e3779b97f4a7c15ULL ^ id);
-  }
+  // Descriptor table: the B+-tree's leaf chain enumerates in ascending fh
+  // order, so the fold can be order-sensitive (stronger than the previous
+  // commutative xor over an unordered table).
+  for_each_fd([&h](std::uint64_t fh, std::uint64_t id) {
+    h = util::mix64(h ^ (fh * 0x9e3779b97f4a7c15ULL) ^ util::mix64(id));
+  });
   return h;
 }
 

@@ -6,8 +6,12 @@
 // (per-path commands).  No soft or hard links, exactly like the paper.
 //
 // Every open file descriptor seen by a client maps to a local descriptor in
-// a hash table shared by all threads — the reason the paper serializes the
-// descriptor commands against everything.
+// a table shared by all threads — the reason the paper serializes the
+// descriptor commands against everything.  The table is a kvstore
+// B+-tree (fh -> inode, both 64-bit): descriptor commands are serialized
+// by the C-Dep exactly like the KV store's structural commands, and the
+// tree's ordered leaf-chain range_scan gives the state digest a
+// deterministic traversal for free.
 //
 // Concurrency contract (mirrors the paper's C-Dep): the structure commands
 // are only ever executed serially (all worker threads barriered); the
@@ -25,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "kvstore/bptree.h"
 #include "netfs/path.h"
 #include "util/bytes.h"
 
@@ -79,6 +84,14 @@ class MemFs {
   /// Number of open descriptors (files + directories).
   [[nodiscard]] std::size_t open_count() const { return fd_table_.size(); }
 
+  /// Visits the open descriptors (fh -> inode) in ascending fh order via
+  /// the descriptor tree's leaf chain.
+  template <typename Fn>
+  void for_each_fd(Fn&& fn) const {
+    fd_table_.range_scan(0, ~static_cast<std::uint64_t>(0),
+                         std::forward<Fn>(fn));
+  }
+
   /// Deterministic digest of the full tree (paths, metadata, contents, and
   /// the descriptor table) for replica-convergence checks.
   [[nodiscard]] std::uint64_t digest() const;
@@ -102,7 +115,7 @@ class MemFs {
   int add_entry(const std::string& path, bool is_dir, std::uint32_t mode);
 
   std::unordered_map<InodeId, Inode> inodes_;
-  std::unordered_map<std::uint64_t, InodeId> fd_table_;
+  kvstore::BPlusTree fd_table_;  // fh -> inode id
   InodeId next_inode_ = 1;
   std::uint64_t next_fh_ = 1;
   static constexpr InodeId kRoot = 0;

@@ -292,7 +292,8 @@ class Simulation {
     run_global_section(worker, std::move(job));
   }
 
-  void run_global_section(std::size_t worker, Job job) {
+  void run_global_section(std::size_t worker, Job /*job: consumed; its
+                          completion is what finish_job below accounts */) {
     workers_[worker].busy_us += cfg_.kv.lock_serial;
     eng_.after(cfg_.kv.lock_serial, [this, worker] {
       // Finish the handler's job, then hand the latch to the next waiter.

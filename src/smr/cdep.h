@@ -71,6 +71,17 @@ class CDep {
     return false;
   }
 
+  /// Number of SAME-KEY dependencies `c` participates in.  Used by the C-G
+  /// derivation as a tie-break: a command whose dependencies are satisfied
+  /// by key partitioning should stay keyed rather than become global.
+  [[nodiscard]] std::size_t same_key_degree(CommandId c) const {
+    std::size_t n = 0;
+    for (auto packed : same_key_) {
+      if (static_cast<CommandId>(packed >> 16) == c) ++n;
+    }
+    return n;
+  }
+
   /// Canonical (a <= b) enumeration of the ALWAYS dependency graph's edges.
   [[nodiscard]] std::vector<std::pair<CommandId, CommandId>> always_pairs()
       const {

@@ -155,7 +155,13 @@ inline std::unique_ptr<CGFunction> from_cdep(const CDep& cdep, std::size_t k,
   auto covered = [&](std::pair<CommandId, CommandId> e) {
     return global.contains(e.first) || global.contains(e.second);
   };
-  // (b) Greedy vertex cover of whatever remains.
+  // (b) Greedy cover of whatever remains.  The objective is concurrency,
+  // not cover size: a command with SAME-KEY dependencies is keyed by
+  // design (its remaining conflicts are satisfied by key partitioning), so
+  // it only goes global when no keyless endpoint can cover the edge.
+  // Example: a range scan conflicting with updates sends the *scan* to all
+  // groups and leaves updates partitioned, even though covering with
+  // update would need fewer global commands.
   while (true) {
     std::vector<std::size_t> degree(static_cast<std::size_t>(max_command_id) +
                                     1);
@@ -168,8 +174,16 @@ inline std::unique_ptr<CGFunction> from_cdep(const CDep& cdep, std::size_t k,
     }
     if (!any) break;
     CommandId best = 0;
+    bool best_keyed = true;
     for (CommandId c = 0; c <= max_command_id; ++c) {
-      if (degree[c] > degree[best]) best = c;
+      if (degree[c] == 0) continue;
+      const bool keyed = cdep.same_key_degree(c) > 0;
+      const bool better = best_keyed != keyed ? !keyed  // keyless first
+                                              : degree[c] > degree[best];
+      if (degree[best] == 0 || better) {
+        best = c;
+        best_keyed = keyed;
+      }
     }
     global.insert(best);
   }

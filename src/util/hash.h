@@ -38,6 +38,17 @@ constexpr std::uint64_t mix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
+/// Seed for fold_kv chains (the FNV-1a offset basis).
+inline constexpr std::uint64_t kFoldSeed = 0xcbf29ce484222325ULL;
+
+/// Order-sensitive (key, value) fold step shared by the B+-tree digests,
+/// the KV scan command's range digest, and the test oracles — replica
+/// cross-checks rely on every producer using this exact mix.
+constexpr std::uint64_t fold_kv(std::uint64_t h, std::uint64_t k,
+                                std::uint64_t v) {
+  return mix64(h ^ mix64(k) ^ (v * 0x9e3779b97f4a7c15ULL));
+}
+
 /// Incrementally-usable CRC32 (IEEE polynomial, table-driven).
 class Crc32 {
  public:

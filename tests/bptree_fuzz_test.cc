@@ -1,0 +1,199 @@
+// Differential fuzz harness for the cache-conscious B+-tree engine
+// (ISSUE 3): both trees — BPlusTree (single-writer) and ConcurrentBPlusTree
+// (lock-coupled) — are driven through long randomized
+// insert/erase/update/find/range_scan/find_batch sequences against a
+// std::map oracle.  At checkpoints the harness calls validate() (which also
+// checks the layout invariants: inf padding and router mirrors) and
+// compares digest() across the two trees and against a digest recomputed
+// from the oracle.
+//
+// Seeds follow the PSMR_TEST_SEED convention (tests/test_support.h): runs
+// are deterministic by default, and PSMR_TEST_SEED=<n> re-seeds the whole
+// suite for exploratory fuzzing; the active seed is logged on failure.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "kvstore/bptree.h"
+#include "kvstore/concurrent_bptree.h"
+#include "test_support.h"
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace psmr::kvstore {
+namespace {
+
+using Oracle = std::map<std::uint64_t, std::uint64_t>;
+
+// The digest fold both trees implement, recomputed over the oracle.
+std::uint64_t oracle_digest(const Oracle& ref) {
+  std::uint64_t h = util::kFoldSeed;
+  for (const auto& [k, v] : ref) h = util::fold_kv(h, k, v);
+  return h;
+}
+
+// Collects a range scan into a vector for exact comparison.
+template <typename Tree>
+std::vector<std::pair<std::uint64_t, std::uint64_t>> scan_of(
+    const Tree& t, std::uint64_t lo, std::uint64_t hi) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  t.range_scan(lo, hi, [&out](std::uint64_t k, std::uint64_t v) {
+    out.emplace_back(k, v);
+  });
+  return out;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> oracle_scan(
+    const Oracle& ref, std::uint64_t lo, std::uint64_t hi) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  for (auto it = ref.lower_bound(lo); it != ref.end() && it->first <= hi;
+       ++it) {
+    out.emplace_back(it->first, it->second);
+  }
+  return out;
+}
+
+struct FuzzProfile {
+  const char* name;
+  std::uint64_t key_space;  // keys drawn from [0, key_space)
+  int steps;
+  // Operation mix (weights out of 100): insert, erase, update; the rest
+  // splits between find, range_scan and find_batch.
+  int w_insert;
+  int w_erase;
+  int w_update;
+};
+
+// Three phases shake different structure: growth (splits, append-heavy
+// tail), churn (borrow/merge against splits), drain (deep merges down to
+// an empty root).  Narrow key spaces force dense collisions; wide ones
+// exercise sparse leaves.
+const FuzzProfile kProfiles[] = {
+    {"grow-dense", 3'000, 60'000, 45, 10, 15},
+    {"churn-mixed", 20'000, 60'000, 25, 25, 20},
+    {"drain-sparse", 1'000'000, 40'000, 15, 45, 10},
+};
+
+class BPlusTreeDifferentialFuzz
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BPlusTreeDifferentialFuzz, BothTreesMatchMapOracle) {
+  const std::uint64_t seed = test_support::logged_seed(GetParam());
+  util::SplitMix64 rng(seed);
+
+  for (const FuzzProfile& prof : kProfiles) {
+    SCOPED_TRACE(prof.name);
+    BPlusTree plain;
+    ConcurrentBPlusTree locked;
+    Oracle ref;
+
+    for (int step = 0; step < prof.steps; ++step) {
+      std::uint64_t k = rng.next_below(prof.key_space);
+      int dice = static_cast<int>(rng.next_below(100));
+      if (dice < prof.w_insert) {
+        std::uint64_t v = rng.next();
+        bool expect = ref.emplace(k, v).second;
+        ASSERT_EQ(plain.insert(k, v), expect) << "insert " << k;
+        ASSERT_EQ(locked.insert(k, v), expect) << "insert " << k;
+      } else if (dice < prof.w_insert + prof.w_erase) {
+        bool expect = ref.erase(k) > 0;
+        ASSERT_EQ(plain.erase(k), expect) << "erase " << k;
+        ASSERT_EQ(locked.erase(k), expect) << "erase " << k;
+      } else if (dice < prof.w_insert + prof.w_erase + prof.w_update) {
+        std::uint64_t v = rng.next();
+        auto it = ref.find(k);
+        bool expect = it != ref.end();
+        if (expect) it->second = v;
+        ASSERT_EQ(plain.update(k, v), expect) << "update " << k;
+        ASSERT_EQ(locked.update(k, v), expect) << "update " << k;
+      } else if (dice % 3 == 0) {
+        // Range scan over a random window (occasionally inverted => empty).
+        std::uint64_t lo = rng.next_below(prof.key_space);
+        std::uint64_t hi = lo + rng.next_below(prof.key_space / 4 + 2);
+        auto expect = oracle_scan(ref, lo, hi);
+        ASSERT_EQ(scan_of(plain, lo, hi), expect) << "scan " << lo;
+        ASSERT_EQ(scan_of(locked, lo, hi), expect) << "scan " << lo;
+      } else if (dice % 3 == 1) {
+        // Pipelined batch lookup (plain tree) vs per-key oracle lookups.
+        std::uint64_t keys[2 * BPlusTree::kBatchWidth + 3];
+        std::optional<std::uint64_t> got[2 * BPlusTree::kBatchWidth + 3];
+        std::size_t n = 1 + rng.next_below(std::size(keys));
+        for (std::size_t i = 0; i < n; ++i) {
+          keys[i] = rng.next_below(prof.key_space);
+        }
+        plain.find_batch(keys, n, got);
+        for (std::size_t i = 0; i < n; ++i) {
+          auto it = ref.find(keys[i]);
+          std::optional<std::uint64_t> expect;
+          if (it != ref.end()) expect = it->second;
+          ASSERT_EQ(got[i], expect) << "find_batch key " << keys[i];
+        }
+      } else {
+        auto it = ref.find(k);
+        std::optional<std::uint64_t> expect;
+        if (it != ref.end()) expect = it->second;
+        ASSERT_EQ(plain.find(k), expect) << "find " << k;
+        ASSERT_EQ(locked.find(k), expect) << "find " << k;
+      }
+
+      ASSERT_EQ(plain.size(), ref.size());
+      ASSERT_EQ(locked.size(), ref.size());
+      if (step % 5000 == 4999) {
+        ASSERT_TRUE(plain.validate()) << "step " << step;
+        ASSERT_TRUE(locked.validate()) << "step " << step;
+        std::uint64_t expect = oracle_digest(ref);
+        ASSERT_EQ(plain.digest(), expect) << "step " << step;
+        ASSERT_EQ(locked.digest(), expect) << "step " << step;
+      }
+    }
+    ASSERT_TRUE(plain.validate());
+    ASSERT_TRUE(locked.validate());
+    std::uint64_t expect = oracle_digest(ref);
+    ASSERT_EQ(plain.digest(), expect);
+    ASSERT_EQ(locked.digest(), expect);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BPlusTreeDifferentialFuzz,
+                         ::testing::Values(1, 7, 23, 101));
+
+// Boundary keys: the inf-padding sentinel value is a *legal* key; the
+// clamped searches must never confuse it with padding.
+TEST(BPlusTreeFuzzEdge, MaxKeyIsAnOrdinaryKey) {
+  constexpr std::uint64_t kMax = ~static_cast<std::uint64_t>(0);
+  BPlusTree plain;
+  ConcurrentBPlusTree locked;
+  EXPECT_FALSE(plain.find(kMax).has_value());
+  EXPECT_TRUE(plain.insert(kMax, 1));
+  EXPECT_TRUE(locked.insert(kMax, 1));
+  EXPECT_FALSE(plain.insert(kMax, 2));
+  EXPECT_EQ(plain.find(kMax).value(), 1u);
+  EXPECT_EQ(locked.find(kMax).value(), 1u);
+  // Fill enough around it to force splits with the max key in play.
+  for (std::uint64_t k = 0; k < 5'000; ++k) {
+    ASSERT_TRUE(plain.insert(kMax - 1 - k, k));
+    ASSERT_TRUE(locked.insert(kMax - 1 - k, k));
+  }
+  ASSERT_TRUE(plain.validate());
+  ASSERT_TRUE(locked.validate());
+  EXPECT_EQ(plain.find(kMax).value(), 1u);
+  auto tail = scan_of(plain, kMax - 3, kMax);
+  ASSERT_EQ(tail.size(), 4u);
+  EXPECT_EQ(tail.back().first, kMax);
+  EXPECT_TRUE(plain.update(kMax, 9));
+  EXPECT_EQ(plain.find(kMax).value(), 9u);
+  EXPECT_TRUE(plain.erase(kMax));
+  EXPECT_FALSE(plain.find(kMax).has_value());
+  ASSERT_TRUE(plain.validate());
+  EXPECT_EQ(plain.digest(), [&] {
+    Oracle ref;
+    for (std::uint64_t k = 0; k < 5'000; ++k) ref.emplace(kMax - 1 - k, k);
+    return oracle_digest(ref);
+  }());
+}
+
+}  // namespace
+}  // namespace psmr::kvstore

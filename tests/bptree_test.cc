@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "util/rng.h"
@@ -116,6 +118,69 @@ TEST(BPlusTree, ForEachIsSortedAndComplete) {
     ++it;
   });
   EXPECT_EQ(it, ref.end());
+}
+
+TEST(BPlusTree, RangeScanLeafChain) {
+  BPlusTree t;
+  for (std::uint64_t k = 0; k < 10'000; k += 2) t.insert(k, k * 3);
+
+  // Interior window, inclusive on both ends.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> got;
+  std::size_t n = t.range_scan(100, 200, [&](std::uint64_t k, std::uint64_t v) {
+    got.emplace_back(k, v);
+  });
+  ASSERT_EQ(n, got.size());
+  ASSERT_EQ(n, 51u);  // 100, 102, ..., 200
+  EXPECT_EQ(got.front().first, 100u);
+  EXPECT_EQ(got.back().first, 200u);
+  for (auto [k, v] : got) {
+    EXPECT_EQ(k % 2, 0u);
+    EXPECT_EQ(v, k * 3);
+  }
+
+  // Bounds between keys, empty windows, full range.
+  EXPECT_EQ(t.range_scan(101, 101, [](std::uint64_t, std::uint64_t) {}), 0u);
+  EXPECT_EQ(t.range_scan(9'999, 50'000, [](std::uint64_t, std::uint64_t) {}),
+            0u);
+  EXPECT_EQ(t.range_scan(0, ~0ULL, [](std::uint64_t, std::uint64_t) {}),
+            t.size());
+  // Scan sees update()s immediately (atomic leaf slots).
+  t.update(150, 1);
+  t.range_scan(150, 150, [](std::uint64_t, std::uint64_t v) {
+    EXPECT_EQ(v, 1u);
+  });
+}
+
+TEST(BPlusTree, FindBatchMatchesScalarFind) {
+  BPlusTree t;
+  for (std::uint64_t k = 0; k < 50'000; k += 3) t.insert(k, k + 7);
+  util::SplitMix64 rng(12);
+  // Sizes below, at, and above kBatchWidth exercise lockstep + remainder.
+  for (std::size_t n :
+       {std::size_t{1}, std::size_t{5}, BPlusTree::kBatchWidth,
+        2 * BPlusTree::kBatchWidth + 3}) {
+    std::vector<std::uint64_t> keys(n);
+    std::vector<std::optional<std::uint64_t>> got(n);
+    for (auto& k : keys) k = rng.next_below(60'000);
+    t.find_batch(keys.data(), n, got.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(got[i], t.find(keys[i])) << "key " << keys[i];
+    }
+  }
+  // Empty batch is a no-op.
+  t.find_batch(nullptr, 0, nullptr);
+}
+
+TEST(BPlusTree, ForEachTemplateVisitorMatchesTypeErased) {
+  BPlusTree t;
+  for (std::uint64_t k = 0; k < 1'000; ++k) t.insert(k * 5, k);
+  std::uint64_t sum_template = 0;
+  t.for_each([&](std::uint64_t k, std::uint64_t v) { sum_template += k ^ v; });
+  std::uint64_t sum_fn = 0;
+  std::function<void(std::uint64_t, std::uint64_t)> fn =
+      [&](std::uint64_t k, std::uint64_t v) { sum_fn += k ^ v; };
+  t.for_each(fn);  // the thin std::function overload
+  EXPECT_EQ(sum_template, sum_fn);
 }
 
 // Property test: random interleaving of all four operations, checked

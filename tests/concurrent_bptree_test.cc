@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "test_support.h"
 #include "util/rng.h"
 
 namespace psmr::kvstore {
@@ -156,6 +157,140 @@ TEST(ConcurrentBPlusTree, MixedChaos) {
   for (auto& th : threads) th.join();
   EXPECT_TRUE(t.validate());
   t.for_each([](std::uint64_t k, std::uint64_t v) { EXPECT_EQ(v, k * 2); });
+}
+
+TEST(ConcurrentBPlusTree, RangeScanDuringMutations) {
+  // Scanners walk [0, kSpace] with the re-descending leaf-chain scan while
+  // writers churn the structure.  Each observed leaf is atomic, so scans
+  // must always see strictly ascending keys with in-protocol values, and
+  // every key outside the writers' churn range must be present exactly
+  // once.
+  ConcurrentBPlusTree t;
+  constexpr std::uint64_t kSpace = 30'000;
+  constexpr std::uint64_t kStableStride = 3;  // keys 0,3,6,... never change
+  for (std::uint64_t k = 0; k < kSpace; k += kStableStride) t.insert(k, k);
+  const std::size_t stable_count = t.size();
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> scans{0};
+  test_support::run_threads(4, [&](int who) {
+    if (who == 0) {
+      // Writer: churn the non-stable keys.
+      util::SplitMix64 rng(test_support::test_seed(77));
+      for (int round = 0; round < 40'000; ++round) {
+        std::uint64_t k = rng.next_below(kSpace);
+        if (k % kStableStride == 0) continue;
+        switch (rng.next_below(3)) {
+          case 0: t.insert(k, k); break;
+          case 1: t.erase(k); break;
+          default: t.update(k, k); break;
+        }
+      }
+      stop.store(true, std::memory_order_relaxed);
+      return;
+    }
+    // Scanners.  Each completes at least one full scan even if the writer
+    // finishes first (single-core hosts): the last pass then also covers
+    // the post-quiesce tree.
+    util::SplitMix64 rng(test_support::test_seed(900 + who));
+    bool first_pass = true;
+    while (first_pass || !stop.load(std::memory_order_relaxed)) {
+      first_pass = false;
+      std::uint64_t prev = 0;
+      bool first = true;
+      std::size_t stable_seen = 0;
+      std::uint64_t lo = rng.next_below(kSpace / 2);
+      t.range_scan(lo, kSpace, [&](std::uint64_t k, std::uint64_t v) {
+        if (!first) {
+          EXPECT_LT(prev, k);  // strictly ascending across leaf hops
+        }
+        first = false;
+        prev = k;
+        EXPECT_EQ(v, k);  // all writers use value == key
+        if (k % kStableStride == 0) ++stable_seen;
+      });
+      // Stable keys in [lo, kSpace] are never touched: the scan must see
+      // every one of them (keys below the first stable >= lo excluded).
+      std::uint64_t first_stable =
+          (lo + kStableStride - 1) / kStableStride * kStableStride;
+      std::size_t expect_stable =
+          first_stable < kSpace
+              ? (kSpace - 1 - first_stable) / kStableStride + 1
+              : 0;
+      EXPECT_EQ(stable_seen, expect_stable) << "lo=" << lo;
+      scans.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_GT(scans.load(), 0u);
+  EXPECT_TRUE(t.validate());
+  EXPECT_GE(t.size(), stable_count);
+}
+
+TEST(ConcurrentBPlusTree, StressDigestConvergesAcrossInterleavings) {
+  // The ISSUE 3 stress: the same commutative workload — disjoint per-thread
+  // insert/erase ranges plus idempotent updates and concurrent readers
+  // exercising the prefetching descent — must leave the tree with the same
+  // digest regardless of scheduling.  Three rounds with rotated partitions
+  // are each compared against a sequentially built reference.
+  constexpr int kWriters = 3;
+  constexpr int kReaders = 2;
+  constexpr std::uint64_t kPerWriter = 12'000;
+  const std::uint64_t seed = test_support::logged_seed(4242);
+
+  auto reference_digest = [&] {
+    ConcurrentBPlusTree ref;
+    for (int w = 0; w < kWriters; ++w) {
+      std::uint64_t base = static_cast<std::uint64_t>(w) << 32;
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        ref.insert(base + i, base + i);
+      }
+      for (std::uint64_t i = 0; i < kPerWriter; i += 2) ref.erase(base + i);
+      for (std::uint64_t i = 1; i < kPerWriter; i += 2) {
+        ref.update(base + i, (base + i) * 7);
+      }
+    }
+    return ref.digest();
+  }();
+
+  for (int round = 0; round < 3; ++round) {
+    ConcurrentBPlusTree t;
+    test_support::Barrier barrier(kWriters + kReaders);
+    std::atomic<bool> done{false};
+    test_support::run_threads(kWriters + kReaders, [&](int who) {
+      barrier.arrive_and_wait();  // maximize overlap
+      if (who >= kWriters) {
+        // Readers hammer random keys (and batchy scans) while the
+        // structure changes under them.
+        util::SplitMix64 rng(seed + static_cast<std::uint64_t>(who));
+        while (!done.load(std::memory_order_relaxed)) {
+          std::uint64_t w = rng.next_below(kWriters);
+          std::uint64_t k = (w << 32) + rng.next_below(kPerWriter);
+          auto v = t.find(k);
+          if (v) {
+            // In-protocol values only: k (pre-update) or 7k (post-update).
+            EXPECT_TRUE(*v == k || *v == k * 7) << "key " << k;
+          }
+        }
+        return;
+      }
+      // Writers: partition rotates per round so interleavings differ.
+      int part = (who + round) % kWriters;
+      std::uint64_t base = static_cast<std::uint64_t>(part) << 32;
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        ASSERT_TRUE(t.insert(base + i, base + i));
+      }
+      for (std::uint64_t i = 0; i < kPerWriter; i += 2) {
+        ASSERT_TRUE(t.erase(base + i));
+      }
+      for (std::uint64_t i = 1; i < kPerWriter; i += 2) {
+        ASSERT_TRUE(t.update(base + i, (base + i) * 7));
+      }
+      if (who == 0) done.store(true, std::memory_order_relaxed);
+    });
+    done = true;
+    ASSERT_TRUE(t.validate()) << "round " << round;
+    EXPECT_EQ(t.digest(), reference_digest) << "round " << round;
+  }
 }
 
 }  // namespace

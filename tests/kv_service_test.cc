@@ -2,6 +2,9 @@
 // marshaling, preload, digests) — paper Section V-A semantics.
 #include <gtest/gtest.h>
 
+#include <initializer_list>
+#include <vector>
+
 #include "kvstore/kv_service.h"
 
 namespace psmr::kvstore {
@@ -79,11 +82,67 @@ TEST(KvService, LockedWrapperIsTransparent) {
   EXPECT_EQ(locked.state_digest(), KvService(10).state_digest());
 }
 
+TEST(KvService, ScanDigestsRange) {
+  KvService svc(1000);  // keys 0..999, value == key
+  // A scan's value folds (count, contents): equal ranges agree across
+  // service instances, and any update inside the range changes it.
+  KvService twin(1000);
+  auto a = run(svc, kKvScan, encode_key_range(100, 199));
+  auto b = run(twin, kKvScan, encode_key_range(100, 199));
+  EXPECT_EQ(a.status, kKvOk);
+  EXPECT_EQ(a.value, b.value);
+  // Outside-the-range update: digest unchanged.
+  EXPECT_EQ(run(twin, kKvUpdate, encode_key_value(500, 1)).status, kKvOk);
+  EXPECT_EQ(run(twin, kKvScan, encode_key_range(100, 199)).value, a.value);
+  // Inside-the-range update: digest moves.
+  EXPECT_EQ(run(twin, kKvUpdate, encode_key_value(150, 1)).status, kKvOk);
+  EXPECT_NE(run(twin, kKvScan, encode_key_range(100, 199)).value, a.value);
+  // Empty range: deterministic sentinel (count 0), still kKvOk.
+  auto empty = run(svc, kKvScan, encode_key_range(5000, 6000));
+  EXPECT_EQ(empty.status, kKvOk);
+  EXPECT_EQ(empty.value, 0xcbf29ce484222325ULL);  // FNV offset ^ 0
+  // Both tree bindings answer identically.
+  ConcurrentKvService locked(1000);
+  EXPECT_EQ(run(locked, kKvScan, encode_key_range(100, 199)).value, a.value);
+}
+
+TEST(KvService, MultiReadMatchesPointReads) {
+  KvService svc(500);
+  ConcurrentKvService locked(500);
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t k = 0; k < 40; ++k) keys.push_back(k * 13);  // some miss
+  for (auto* s : std::initializer_list<smr::Service*>{&svc, &locked}) {
+    auto multi =
+        decode_multi_result(s->execute(cmd(kKvMultiRead, encode_keys(keys))));
+    ASSERT_EQ(multi.entries.size(), keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      auto single = run(*s, kKvRead, encode_key(keys[i]));
+      EXPECT_EQ(multi.entries[i].status, single.status) << keys[i];
+      if (single.status == kKvOk) {
+        EXPECT_EQ(multi.entries[i].value, single.value) << keys[i];
+      }
+    }
+  }
+}
+
 TEST(KvCodec, ResultRoundTrip) {
   KvResult in{kKvExists, 0xdeadbeefcafef00dULL};
   auto out = decode_result(encode_result(in));
   EXPECT_EQ(out.status, kKvExists);
   EXPECT_EQ(out.value, in.value);
+}
+
+TEST(KvCodec, MultiResultRoundTrip) {
+  KvMultiResult in;
+  in.entries.push_back({kKvOk, 7});
+  in.entries.push_back({kKvNotFound, 0});
+  in.entries.push_back({kKvOk, ~0ULL});
+  auto out = decode_multi_result(encode_multi_result(in));
+  ASSERT_EQ(out.entries.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(out.entries[i].status, in.entries[i].status);
+    EXPECT_EQ(out.entries[i].value, in.entries[i].value);
+  }
 }
 
 TEST(KvCodec, KeyExtraction) {

@@ -16,10 +16,14 @@ namespace psmr::smr {
 namespace {
 
 using kvstore::encode_key;
+using kvstore::encode_key_range;
 using kvstore::encode_key_value;
+using kvstore::encode_keys;
 using kvstore::kKvDelete;
 using kvstore::kKvInsert;
+using kvstore::kKvMultiRead;
 using kvstore::kKvRead;
+using kvstore::kKvScan;
 using kvstore::kKvUpdate;
 
 Command make_cmd(CommandId id, util::Buffer params, ClientId client = 1,
@@ -109,21 +113,43 @@ TEST(CDep, KvCdepMatchesPaperSectionVA) {
   EXPECT_TRUE(dep.conflicts(up7, up7, key_of));
   EXPECT_FALSE(dep.conflicts(up7, up8, key_of));
   EXPECT_FALSE(dep.conflicts(up8, rd7, key_of));
+
+  // The multi-key reads (scan, multi-read) depend on structure changes and
+  // on every update, but not on reads or each other (PR 3 extension).
+  Command scan = make_cmd(kKvScan, encode_key_range(0, 100));
+  Command multi = make_cmd(kKvMultiRead, encode_keys({7, 8}));
+  for (const auto* c : {&scan, &multi}) {
+    EXPECT_TRUE(dep.conflicts(*c, ins, key_of));
+    EXPECT_TRUE(dep.conflicts(*c, del, key_of));
+    EXPECT_TRUE(dep.conflicts(*c, up7, key_of));
+    EXPECT_FALSE(dep.conflicts(*c, rd7, key_of));
+  }
+  EXPECT_FALSE(dep.conflicts(scan, multi, key_of));
+  EXPECT_FALSE(dep.conflicts(scan, scan, key_of));
 }
 
-TEST(CDep, VertexCoverPicksOnlyStructuralCommands) {
+TEST(CDep, VertexCoverPicksOnlyStructuralAndMultiKeyCommands) {
   // from_cdep must make insert/delete global but keep read/update keyed —
   // the paper's exact assignment.  Reads have ALWAYS edges (to insert and
   // delete) yet must NOT become global: the edge is covered by the other
-  // endpoint.
+  // endpoint.  The scan/multi-read vs update edges must likewise be covered
+  // by the multi-key side: update is keyed by design, so the cover
+  // heuristic sends the keyless endpoint to all groups.
   auto cg = kvstore::kv_keyed_cg(8);
   Command rd = make_cmd(kKvRead, encode_key(5));
   Command up = make_cmd(kKvUpdate, encode_key_value(5, 0));
   EXPECT_TRUE(cg->groups(rd).singleton());
   EXPECT_TRUE(cg->groups(up).singleton());
+  Command scan = make_cmd(kKvScan, encode_key_range(1, 9));
+  Command multi = make_cmd(kKvMultiRead, encode_keys({5}));
+  EXPECT_EQ(cg->groups(scan), multicast::GroupSet::all(8));
+  EXPECT_EQ(cg->groups(multi), multicast::GroupSet::all(8));
   CDep dep = kvstore::kv_cdep();
   EXPECT_TRUE(dep.has_always_edge(kKvRead));  // edge exists...
-  EXPECT_EQ(dep.always_pairs().size(), 7u);   // ins/del × 4 minus dup pair
+  // ins/del × 6 commands (minus the dup ins/del pair) + scan/multi × update.
+  EXPECT_EQ(dep.always_pairs().size(), 13u);
+  EXPECT_EQ(dep.same_key_degree(kKvUpdate), 2u);
+  EXPECT_EQ(dep.same_key_degree(kKvScan), 0u);
 }
 
 TEST(KeyedCg, MatchesPaperSecondExample) {
