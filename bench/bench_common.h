@@ -27,6 +27,9 @@ struct Options {
   bool quick = false;
   double duration_ms = 120;
   int clients_override = 0;
+  /// Machine-readable summary path (figures that support it; fig3 writes
+  /// the batched-execution perf record here).
+  std::string json;
 
   static Options parse(int argc, char** argv) {
     Options o;
@@ -37,6 +40,8 @@ struct Options {
         o.duration_ms = std::atof(argv[++i]);
       else if (!std::strcmp(argv[i], "--clients") && i + 1 < argc)
         o.clients_override = std::atoi(argv[++i]);
+      else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
+        o.json = argv[++i];
     }
     if (o.quick) o.duration_ms = 40;
     return o;
@@ -58,7 +63,8 @@ inline sim::SimConfig base_sim(const Options& opt, sim::Tech tech,
 
 /// Real-runtime deployment over the key-value store.
 inline smr::DeploymentConfig real_kv_config(smr::Mode mode, std::size_t mpl,
-                                            std::uint64_t keys) {
+                                            std::uint64_t keys,
+                                            std::size_t exec_run_length = 16) {
   smr::DeploymentConfig cfg;
   cfg.mode = mode;
   cfg.mpl = mpl;
@@ -73,6 +79,7 @@ inline smr::DeploymentConfig real_kv_config(smr::Mode mode, std::size_t mpl,
     return std::make_shared<kvstore::ConcurrentKvService>(keys);
   };
   cfg.cg_factory = [](std::size_t k) { return kvstore::kv_keyed_cg(k); };
+  cfg.exec_run_length = exec_run_length;
   return cfg;
 }
 
@@ -88,12 +95,15 @@ inline smr::Mode to_mode(sim::Tech t) {
 }
 
 /// Runs the real runtime with a workload mix and adapts to RunResult-like
-/// fields of SimResult for uniform printing.
+/// fields of SimResult for uniform printing.  `raw`, when given, receives
+/// the full driver result including the replica-side ExecStats.
 inline sim::SimResult run_real_kv(const Options& opt, sim::Tech tech,
                                   int workers, const workload::KvMix& mix,
-                                  bool zipf = false) {
+                                  bool zipf = false,
+                                  std::size_t exec_run_length = 16,
+                                  workload::RunResult* raw = nullptr) {
   auto dcfg = real_kv_config(to_mode(tech), static_cast<std::size_t>(workers),
-                             /*keys=*/200'000);
+                             /*keys=*/200'000, exec_run_length);
   smr::Deployment d(std::move(dcfg));
   d.start();
   workload::KvWorkloadSpec spec;
@@ -106,6 +116,7 @@ inline sim::SimResult run_real_kv(const Options& opt, sim::Tech tech,
   spec.zipf = zipf;
   auto r = workload::run_kv_workload(d, spec);
   d.stop();
+  if (raw) *raw = r;
   sim::SimResult out;
   out.kcps = r.kcps;
   out.cpu_pct = r.cpu_pct;

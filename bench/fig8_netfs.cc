@@ -26,7 +26,9 @@ sim::SimResult run_real_fs(const Options& opt, sim::Tech tech, int workers,
   dcfg.replicas = 2;
   dcfg.ring.batch_timeout = std::chrono::microseconds(500);
   dcfg.ring.skip_interval = std::chrono::microseconds(1500);
-  dcfg.service_factory = [] { return std::make_unique<netfs::FsService>(); };
+  dcfg.service_factory = [] {
+    return smr::make_batched(std::make_unique<netfs::FsService>());
+  };
   dcfg.cg_factory = [](std::size_t k) { return netfs::fs_cg(k); };
   smr::Deployment d(std::move(dcfg));
   d.start();

@@ -28,7 +28,7 @@ enum BankCommand : smr::CommandId {
 // concurrent execution of commands on distinct accounts (distinct map
 // slots) given the C-Dep below — transfers and same-account commands are
 // synchronized by the framework.
-class BankService : public smr::Service {
+class BankService : public smr::SequentialService {
  public:
   explicit BankService(std::uint64_t accounts) {
     for (std::uint64_t a = 0; a < accounts; ++a) balances_[a] = 1000;
@@ -114,7 +114,7 @@ int main() {
   cfg.mpl = 4;
   cfg.replicas = 2;
   cfg.service_factory = [] {
-    return std::make_unique<BankService>(kAccounts);
+    return smr::make_batched(std::make_unique<BankService>(kAccounts));
   };
   cfg.cg_factory = [](std::size_t k) { return std::make_shared<BankCg>(k); };
 

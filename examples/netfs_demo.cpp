@@ -17,7 +17,9 @@ int main() {
   cfg.mode = smr::Mode::kPsmr;
   cfg.mpl = 8;  // the paper's NetFS uses 8 path ranges
   cfg.replicas = 2;
-  cfg.service_factory = [] { return std::make_unique<netfs::FsService>(); };
+  cfg.service_factory = [] {
+    return smr::make_batched(std::make_unique<netfs::FsService>());
+  };
   cfg.cg_factory = [](std::size_t k) { return netfs::fs_cg(k); };
 
   smr::Deployment deployment(std::move(cfg));

@@ -164,22 +164,100 @@ void preload(Tree& tree, std::uint64_t n) {
   for (std::uint64_t k = 0; k < n; ++k) tree.insert(k, k);
 }
 
+/// Shared independence matrix for both service variants: flattened
+/// kv_cdep() + kv_key_fn(), built once.
+const smr::CDepMatrix& kv_cdep_matrix() {
+  static const smr::CDepMatrix matrix(kv_cdep(), kKvMaxCommand, kv_key_fn());
+  return matrix;
+}
+
 }  // namespace
+
+KvService::KvService() = default;
 
 KvService::KvService(std::uint64_t initial_keys) {
   preload(tree_, initial_keys);
 }
 
-util::Buffer KvService::execute(const smr::Command& cmd) {
-  return run_command(tree_, cmd);
+bool KvService::may_share_batch(const smr::Command& x,
+                                const smr::Command& y) const {
+  return kv_cdep_matrix().independent(x, y);
+}
+
+void KvService::do_execute_batch(smr::CommandBatch& batch) {
+  const std::span<const smr::Command> cmds = batch.commands;
+  if (cmds.size() == 1) {
+    batch.sink->accept(0, run_command(tree_, cmds[0]));
+    return;
+  }
+  // Split the batch into its read lanes: every point read's key and every
+  // multi-read's key list flow into one find_batch pass (their miss chains
+  // overlap across commands), while writes and scans execute in batch
+  // order.  Resolving the reads after the writes is order-equivalent —
+  // batch members are pairwise independent.
+  struct Lane {
+    std::size_t index;  // batch command index
+    std::size_t first;  // offset into keys
+    std::uint32_t count;
+  };
+  std::vector<std::uint64_t> keys;
+  std::vector<Lane> lanes;
+  for (std::size_t i = 0; i < cmds.size(); ++i) {
+    const smr::Command& c = cmds[i];
+    if (c.cmd == kKvRead) {
+      keys.push_back(decode_key(c.params));
+      lanes.push_back({i, keys.size() - 1, 1});
+    } else if (c.cmd == kKvMultiRead) {
+      util::Reader r(c.params);
+      std::uint32_t n = r.u32();
+      std::size_t first = keys.size();
+      for (std::uint32_t j = 0; j < n; ++j) keys.push_back(r.u64());
+      lanes.push_back({i, first, n});
+    } else {
+      batch.sink->accept(i, run_command(tree_, c));
+    }
+  }
+  if (lanes.empty()) return;
+  std::vector<std::optional<std::uint64_t>> vals(keys.size());
+  tree_.find_batch(keys.data(), keys.size(), vals.data());
+  for (const Lane& lane : lanes) {
+    if (cmds[lane.index].cmd == kKvRead) {
+      KvResult res;
+      if (vals[lane.first]) {
+        res.value = *vals[lane.first];
+      } else {
+        res.status = kKvNotFound;
+      }
+      batch.sink->accept(lane.index, encode_result(res));
+    } else {
+      KvMultiResult multi;
+      multi.entries.resize(lane.count);
+      for (std::uint32_t j = 0; j < lane.count; ++j) {
+        if (vals[lane.first + j]) {
+          multi.entries[j].value = *vals[lane.first + j];
+        } else {
+          multi.entries[j].status = kKvNotFound;
+        }
+      }
+      batch.sink->accept(lane.index, encode_multi_result(multi));
+    }
+  }
+  note_batched_reads(lanes.size());
 }
 
 ConcurrentKvService::ConcurrentKvService(std::uint64_t initial_keys) {
   preload(tree_, initial_keys);
 }
 
-util::Buffer ConcurrentKvService::execute(const smr::Command& cmd) {
-  return run_command(tree_, cmd);
+bool ConcurrentKvService::may_share_batch(const smr::Command& x,
+                                          const smr::Command& y) const {
+  return kv_cdep_matrix().independent(x, y);
+}
+
+void ConcurrentKvService::do_execute_batch(smr::CommandBatch& batch) {
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    batch.sink->accept(i, run_command(tree_, batch.commands[i]));
+  }
 }
 
 smr::CDep kv_cdep() {

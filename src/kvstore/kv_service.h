@@ -80,35 +80,52 @@ KvMultiResult decode_multi_result(const util::Buffer& payload);
 /// Deterministic single-instance service over the plain B+-tree.  Safe for
 /// P-SMR's concurrency regime (structure changes are globally serialized by
 /// the C-Dep; reads/updates touch single leaf slots atomically).
+///
+/// Natively batch-aware: execute_batch splits a run of independent commands
+/// into its read lanes — point reads and multi-read key lists gathered into
+/// one pipelined BPlusTree::find_batch pass whose miss chains overlap —
+/// while every other command executes in batch order.  may_share_batch is
+/// derived from the same kv_cdep() the C-G functions use, so batches only
+/// ever contain commands whose relative order is irrelevant.
 class KvService : public smr::Service {
  public:
-  KvService() = default;
+  KvService();
   /// Pre-populates keys 0..initial_keys-1 (the paper initializes the tree
   /// with 10 million keys before measuring).
   explicit KvService(std::uint64_t initial_keys);
 
-  util::Buffer execute(const smr::Command& cmd) override;
+  [[nodiscard]] bool may_share_batch(const smr::Command& x,
+                                     const smr::Command& y) const override;
   [[nodiscard]] std::uint64_t state_digest() const override {
     return tree_.digest();
   }
   [[nodiscard]] const BPlusTree& tree() const { return tree_; }
+
+ protected:
+  void do_execute_batch(smr::CommandBatch& batch) override;
 
  private:
   BPlusTree tree_;
 };
 
 /// Internally synchronized variant over the latch-crabbing tree, for the
-/// BDB-style lock server (fully concurrent callers, no external scheduler).
+/// BDB-style lock server (fully concurrent callers, no external scheduler;
+/// batches degrade to in-order execution — the concurrent tree's latching
+/// would serialize a pipelined pass anyway).
 class ConcurrentKvService : public smr::Service {
  public:
   ConcurrentKvService() = default;
   explicit ConcurrentKvService(std::uint64_t initial_keys);
 
-  util::Buffer execute(const smr::Command& cmd) override;
+  [[nodiscard]] bool may_share_batch(const smr::Command& x,
+                                     const smr::Command& y) const override;
   [[nodiscard]] std::uint64_t state_digest() const override {
     return tree_.digest();
   }
   [[nodiscard]] const ConcurrentBPlusTree& tree() const { return tree_; }
+
+ protected:
+  void do_execute_batch(smr::CommandBatch& batch) override;
 
  private:
   ConcurrentBPlusTree tree_;

@@ -15,6 +15,9 @@ bool SubmitCoalescer::submit(transport::NodeId from, util::Buffer message) {
   }
   flushing_ = true;
   bool ok = true;
+  // Copied under the lock: the hook runs with the lock released so a
+  // concurrent submit can piggyback while the flusher is paused.
+  const auto pause = flush_pause_;
   while (!queue_.empty()) {
     std::vector<util::Buffer> burst;
     burst.swap(queue_);
@@ -23,6 +26,7 @@ bool SubmitCoalescer::submit(transport::NodeId from, util::Buffer message) {
     stats_.flushed_commands += n;
     lock.unlock();
     bool sent = ring_.submit_many(from, std::move(burst));
+    if (pause) pause();
     lock.lock();
     if (!sent) {
       stats_.failed_flush_commands += n;

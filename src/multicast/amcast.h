@@ -14,6 +14,7 @@
 // streams interleave deterministically (merge.h).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -91,12 +92,23 @@ class SubmitCoalescer {
     return stats_;
   }
 
+  /// Test hook: invoked by the active flusher after each wire send, while
+  /// the coalescer lock is released.  Lets a test rendezvous a concurrent
+  /// submit with an in-progress flush deterministically (the piggyback race
+  /// is otherwise timing-dependent on single-core hosts).  Set before any
+  /// concurrent submits start; pass {} to clear.
+  void set_flush_pause(std::function<void()> hook) {
+    std::lock_guard lock(mu_);
+    flush_pause_ = std::move(hook);
+  }
+
  private:
   paxos::Ring& ring_;
   mutable std::mutex mu_;
   std::vector<util::Buffer> queue_;
   bool flushing_ = false;
   Stats stats_;
+  std::function<void()> flush_pause_;
 };
 
 /// One atomic-multicast domain shared by clients and replicas.
@@ -142,6 +154,12 @@ class Bus {
   [[nodiscard]] paxos::Ring& group_ring(GroupId g) { return *rings_.at(g); }
   /// Test hook: the shared ring (requires has_shared_ring()).
   [[nodiscard]] paxos::Ring& shared_ring() { return *shared_ring_; }
+  /// Test hook: the shared g_all ring's coalescer (nullptr when coalescing
+  /// is disabled or no shared ring exists).
+  [[nodiscard]] SubmitCoalescer* shared_coalescer() {
+    if (!shared_ring_ || coalescers_.empty()) return nullptr;
+    return coalescers_.back().get();
+  }
 
  private:
   bool submit_to(std::size_t ring_index, transport::NodeId from,

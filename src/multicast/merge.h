@@ -38,21 +38,17 @@ class MergeDeliverer {
   /// Blocks for the next message in merged deterministic order.
   /// std::nullopt means the network shut down.
   std::optional<Delivery> next() {
-    while (true) {
-      if (!ready_.empty()) {
-        Delivery d = std::move(ready_.front());
-        ready_.pop_front();
-        return d;
-      }
-      auto decision = logs_[cursor_]->next();
-      if (!decision) return std::nullopt;
-      std::size_t stream = cursor_;
-      cursor_ = (cursor_ + 1) % logs_.size();
-      if (decision->batch.skip) continue;
-      for (auto& cmd : decision->batch.commands) {
-        ready_.push_back(Delivery{stream, std::move(cmd)});
-      }
-    }
+    return pump([&] { return logs_[cursor_]->next(); });
+  }
+
+  /// Non-blocking variant of next(): std::nullopt when the next in-order
+  /// message has not been decided yet (or after shutdown).  Consumes the
+  /// identical merged sequence as next() — the rotation cursor only
+  /// advances when a decision is actually taken — so callers may freely
+  /// interleave the two (the replica batch accumulators poll with
+  /// try_next() and fall back to next() when the stream runs dry).
+  std::optional<Delivery> try_next() {
+    return pump([&] { return logs_[cursor_]->try_next(); });
   }
 
   /// Unblocks any pending next() and makes future calls return nullopt.
@@ -68,6 +64,29 @@ class MergeDeliverer {
   }
 
  private:
+  /// The shared merge pump: drain ready_, else take the rotation ring's
+  /// next decision via `fetch` (blocking or not) and fan its commands out.
+  /// The cursor advances only when a decision is actually consumed, which
+  /// is what keeps the blocking and non-blocking variants on one sequence.
+  template <typename Fetch>
+  std::optional<Delivery> pump(Fetch fetch) {
+    while (true) {
+      if (!ready_.empty()) {
+        Delivery d = std::move(ready_.front());
+        ready_.pop_front();
+        return d;
+      }
+      auto decision = fetch();
+      if (!decision) return std::nullopt;
+      std::size_t stream = cursor_;
+      cursor_ = (cursor_ + 1) % logs_.size();
+      if (decision->batch.skip) continue;
+      for (auto& cmd : decision->batch.commands) {
+        ready_.push_back(Delivery{stream, std::move(cmd)});
+      }
+    }
+  }
+
   std::vector<std::unique_ptr<paxos::LearnerLog>> logs_;
   std::size_t cursor_ = 0;
   std::deque<Delivery> ready_;

@@ -75,8 +75,10 @@ std::optional<util::Buffer> unpack_params(const util::Buffer& packed);
 FsResult decode_result(smr::CommandId cmd, const util::Buffer& payload);
 
 /// The replicated NetFS state machine.  Handles decompression, dispatch
-/// into MemFs, and response compression.
-class FsService : public smr::Service {
+/// into MemFs, and response compression.  A single-command service: mount
+/// it on the batch-first replica stack with smr::make_batched(), which
+/// executes batches one command at a time in delivery order.
+class FsService : public smr::SequentialService {
  public:
   FsService() = default;
 

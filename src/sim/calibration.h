@@ -136,6 +136,30 @@ struct BtreeCalibration {
   }
 };
 
+/// Host-measured end-to-end batched execution record (PR 4).  Source:
+/// `bench_fig3 --json` on the reference container (single core,
+/// RelWithDebInfo): the fig3 independent mix (100% uniform reads, 8M-key
+/// tree) driven through the replica execution pipeline — delivery thread →
+/// scheduler → worker batch accumulation → KvService::execute_batch
+/// (pipelined find_batch read lane) → marshaled replies — with execution
+/// run length 16 vs 1.  This is the fraction of BtreeCalibration's 2.9x
+/// tree-level batch win that survives the full replica path (queueing,
+/// marshaling, replies); the same JSON also reports the full sP-SMR
+/// deployment moving 227 → 288 Kcps (~1.27x) on the one-core host, where
+/// ordering overhead dilutes it further.
+struct ExecCalibration {
+  // Replica execution pipeline, Kcps, fig3 mix at 8M keys.
+  double pipeline_seq_kcps = 487.0;      // run length 1 (pre-batching path)
+  double pipeline_batched_kcps = 794.0;  // run length 16, find_batch lane
+  double mean_commands_per_batch = 16.0;
+
+  /// End-to-end batched-vs-sequential execution speedup (acceptance
+  /// target: >= 1.3x on the reference host).
+  [[nodiscard]] double batched_ratio() const {
+    return pipeline_batched_kcps / pipeline_seq_kcps;
+  }
+};
+
 /// Client/network constants shared by both services.
 struct NetCosts {
   double one_way = 60.0;        // client <-> cluster, switched gigabit

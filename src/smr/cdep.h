@@ -103,4 +103,62 @@ class CDep {
   std::unordered_set<std::uint32_t> same_key_;
 };
 
+/// Dense-matrix view of a C-Dep for hot-path independence checks.
+///
+/// The batch accumulators in SchedulerCore/PsmrReplica ask "may these two
+/// concrete invocations share a batch?" once per (candidate, run member)
+/// pair; CDep::conflicts answers through two hash probes plus key
+/// extraction, which at replica execution rates is real money.  This
+/// flattens the ALWAYS/SAME-KEY relations into byte matrices so the common
+/// case (read vs read: no edge at all) is two array loads, and keys are
+/// only extracted when a SAME-KEY edge actually exists.
+class CDepMatrix {
+ public:
+  CDepMatrix(const CDep& cdep, CommandId max_command_id, KeyFn key_of)
+      : width_(static_cast<std::size_t>(max_command_id) + 1),
+        cell_(width_ * width_, kNone),
+        key_of_(std::move(key_of)) {
+    for (CommandId a = 0; a <= max_command_id; ++a) {
+      for (CommandId b = 0; b <= max_command_id; ++b) {
+        if (cdep.always_conflicts(a, b)) {
+          at(a, b) = kAlways;
+        } else if (cdep.same_key_conflicts(a, b)) {
+          at(a, b) = kSameKey;
+        }
+      }
+    }
+  }
+
+  /// True when x and y are independent (no conflict), i.e. may share an
+  /// execution batch.  Commands above max_command_id conservatively
+  /// conflict with everything.
+  [[nodiscard]] bool independent(const Command& x, const Command& y) const {
+    if (x.cmd >= width_ || y.cmd >= width_) return false;
+    switch (at(x.cmd, y.cmd)) {
+      case kNone:
+        return true;
+      case kAlways:
+        return false;
+      default: {
+        auto kx = key_of_(x);
+        auto ky = key_of_(y);
+        return !(kx.has_value() && ky.has_value() && *kx == *ky);
+      }
+    }
+  }
+
+ private:
+  enum Cell : std::uint8_t { kNone = 0, kAlways = 1, kSameKey = 2 };
+  [[nodiscard]] std::uint8_t at(CommandId a, CommandId b) const {
+    return cell_[static_cast<std::size_t>(a) * width_ + b];
+  }
+  [[nodiscard]] std::uint8_t& at(CommandId a, CommandId b) {
+    return cell_[static_cast<std::size_t>(a) * width_ + b];
+  }
+
+  std::size_t width_;
+  std::vector<std::uint8_t> cell_;
+  KeyFn key_of_;
+};
+
 }  // namespace psmr::smr

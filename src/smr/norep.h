@@ -18,9 +18,11 @@ namespace psmr::smr {
 class NoRepServer : public transport::Endpoint {
  public:
   NoRepServer(transport::Network& net, std::unique_ptr<Service> service,
-              std::shared_ptr<const CGFunction> cg, std::size_t mpl)
+              std::shared_ptr<const CGFunction> cg, std::size_t mpl,
+              SchedulerOptions options = {})
       : Endpoint(net, "norep-server"),
-        core_(net, std::move(service), std::move(cg), mpl, "norep") {}
+        core_(net, std::move(service), std::move(cg), mpl, "norep",
+              options) {}
 
   ~NoRepServer() override { stop_all(); }
 

@@ -6,9 +6,10 @@ namespace psmr::smr {
 
 PsmrReplica::PsmrReplica(transport::Network& net, multicast::Bus& bus,
                          std::unique_ptr<Service> service, std::size_t mpl,
-                         std::string name)
+                         std::string name, std::size_t run_length)
     : net_(net),
       mpl_(mpl),
+      run_length_(run_length == 0 ? 1 : run_length),
       name_(std::move(name)),
       service_(std::move(service)),
       signals_(mpl * mpl),
@@ -49,56 +50,149 @@ void PsmrReplica::stop() {
   workers_.clear();
 }
 
-void PsmrReplica::execute_and_reply(const Command& cmd, std::size_t worker) {
-  auto& last = dedup_[worker][cmd.client];
-  Response resp;
-  resp.client = cmd.client;
-  resp.seq = cmd.seq;
-  if (cmd.seq == last.seq) {
-    resp.payload = last.response;  // retransmitted command: replay response
-  } else if (cmd.seq < last.seq) {
-    return;  // stale duplicate; the client has long moved on
-  } else {
-    resp.payload = service_->execute(cmd);
-    last.seq = cmd.seq;
-    last.response = resp.payload;
-    executed_.fetch_add(1, std::memory_order_relaxed);
+bool PsmrReplica::admit(const Command& cmd, std::size_t worker) {
+  auto it = dedup_[worker].find(cmd.client);
+  if (it == dedup_[worker].end() || cmd.seq > it->second.seq) return true;
+  if (cmd.seq == it->second.seq) {
+    Response resp;
+    resp.client = cmd.client;
+    resp.seq = cmd.seq;
+    resp.payload = it->second.response;
+    net_.send(reply_node_, cmd.reply_to, transport::MsgType::kSmrResponse,
+              resp.encode());
   }
-  net_.send(reply_node_, cmd.reply_to, transport::MsgType::kSmrResponse,
-            resp.encode());
+  return false;  // stale duplicates are dropped silently
+}
+
+/// Updates the dedup cache and sends each response the moment the service
+/// hands it over.  Responses of one batch may arrive out of batch order
+/// (pipelined read lane), so the cache keeps the max seq per client.
+class PsmrReplica::WorkerSink final : public ResponseSink {
+ public:
+  WorkerSink(PsmrReplica& replica, std::span<const Command> cmds,
+             std::size_t worker)
+      : replica_(replica), cmds_(cmds), worker_(worker) {}
+
+  void accept(std::size_t index, util::Buffer payload) override {
+    const Command& cmd = cmds_[index];
+    auto& last = replica_.dedup_[worker_][cmd.client];
+    if (cmd.seq > last.seq) {
+      last.seq = cmd.seq;
+      last.response = payload;
+    }
+    Response resp;
+    resp.client = cmd.client;
+    resp.seq = cmd.seq;
+    resp.payload = std::move(payload);
+    replica_.net_.send(replica_.reply_node_, cmd.reply_to,
+                       transport::MsgType::kSmrResponse, resp.encode());
+  }
+
+ private:
+  PsmrReplica& replica_;
+  std::span<const Command> cmds_;
+  std::size_t worker_;
+};
+
+void PsmrReplica::execute_run(std::vector<Command>& run, std::size_t worker) {
+  WorkerSink sink(*this, run, worker);
+  CommandBatch batch{std::span<const Command>(run), &sink};
+  service_->execute_batch(batch);
+  executed_.fetch_add(run.size(), std::memory_order_relaxed);
+}
+
+void PsmrReplica::sync_execute(Command cmd, std::size_t worker) {
+  // Synchronous mode (Algorithm 1, lines 14-26).
+  const multicast::GroupSet groups = cmd.groups;
+  const std::size_t executor = groups.min();
+  if (worker == executor) {
+    groups.for_each([&](multicast::GroupId j) {
+      if (j != executor && j < mpl_) signal(j, executor).wait();
+    });
+    // Dedup/replay and execute exactly like a parallel-mode run of one.
+    if (admit(cmd, worker)) {
+      std::vector<Command> one;
+      one.push_back(std::move(cmd));
+      execute_run(one, worker);
+    }
+    groups.for_each([&](multicast::GroupId j) {
+      if (j != executor && j < mpl_) signal(executor, j).notify();
+    });
+  } else {
+    signal(worker, executor).notify();
+    signal(executor, worker).wait();
+  }
 }
 
 void PsmrReplica::worker_loop(std::size_t worker) {
   auto& sub = *subs_[worker];
-  while (auto delivery = sub.next()) {
-    auto cmd = Command::decode(delivery->message);
-    if (!cmd) {
-      PSMR_ERROR(name_ << " worker " << worker << ": malformed command");
-      continue;
-    }
-    const multicast::GroupSet groups = cmd->groups;
-    if (groups.singleton()) {
-      // Parallel mode (Algorithm 1, lines 10-13).
-      execute_and_reply(*cmd, worker);
-      continue;
-    }
-    if (!groups.contains(static_cast<multicast::GroupId>(worker))) {
-      continue;  // delivered via g_all but not a destination
-    }
-    // Synchronous mode (lines 14-26).
-    const std::size_t executor = groups.min();
-    if (worker == executor) {
-      groups.for_each([&](multicast::GroupId j) {
-        if (j != executor && j < mpl_) signal(j, executor).wait();
-      });
-      execute_and_reply(*cmd, worker);
-      groups.for_each([&](multicast::GroupId j) {
-        if (j != executor && j < mpl_) signal(executor, j).notify();
-      });
+  std::vector<Command> run;
+  run.reserve(run_length_);
+  // A decoded delivery that must not join the current run (synchronous
+  // mode, dependency, or same-client ordering) is parked here and seeds the
+  // next iteration, preserving stream order across the flush.
+  std::optional<Command> held;
+  for (;;) {
+    Command first;
+    if (held) {
+      first = std::move(*held);
+      held.reset();
     } else {
-      signal(worker, executor).notify();
-      signal(executor, worker).wait();
+      auto delivery = sub.next();
+      if (!delivery) break;
+      auto cmd = Command::decode(delivery->message);
+      if (!cmd) {
+        PSMR_ERROR(name_ << " worker " << worker << ": malformed command");
+        continue;
+      }
+      first = std::move(*cmd);
     }
+    if (!first.groups.singleton()) {
+      if (!first.groups.contains(static_cast<multicast::GroupId>(worker))) {
+        continue;  // delivered via g_all but not a destination
+      }
+      sync_execute(std::move(first), worker);
+      continue;
+    }
+    // Parallel mode (Algorithm 1, lines 10-13), batched: accumulate
+    // consecutive independent parallel-mode deliveries until the stream
+    // runs dry, a barrier command arrives, or the run is full.
+    if (!admit(first, worker)) continue;
+    run.clear();
+    run.push_back(std::move(first));
+    while (run.size() < run_length_) {
+      auto delivery = sub.try_next();
+      if (!delivery) break;  // stream dry: flush immediately
+      auto cmd = Command::decode(delivery->message);
+      if (!cmd) {
+        PSMR_ERROR(name_ << " worker " << worker << ": malformed command");
+        continue;
+      }
+      if (!cmd->groups.singleton()) {
+        held = std::move(*cmd);
+        break;  // synchronous-mode barrier ends the run
+      }
+      // Same-client ordering: a seq at or below one already in the
+      // (unexecuted) run is either a retransmission or out of order; flush
+      // so the dedup cache — updated only at execution — can classify it
+      // exactly as the sequential path would have.
+      bool ordered = true;
+      bool joins = true;
+      for (const Command& member : run) {
+        if (cmd->client == member.client && cmd->seq <= member.seq) {
+          ordered = false;
+          break;
+        }
+        if (!service_->may_share_batch(member, *cmd)) joins = false;
+      }
+      if (!ordered || !joins) {
+        held = std::move(*cmd);
+        break;
+      }
+      if (!admit(*cmd, worker)) continue;
+      run.push_back(std::move(*cmd));
+    }
+    execute_run(run, worker);
   }
 }
 

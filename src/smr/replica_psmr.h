@@ -17,6 +17,14 @@
 // Signals are per-(sender, receiver) counting semaphores, exactly the
 // "signal from t_j" of the paper, so a fast thread's signal for the *next*
 // synchronous command cannot be miscounted for the current one.
+//
+// Batched execution: between synchronous-mode barriers, a worker
+// accumulates consecutive parallel-mode deliveries into a run of mutually
+// independent commands (bounded by run_length; a dry stream flushes
+// immediately via MergeDeliverer::try_next, so batching never waits) and
+// executes it as one Service::execute_batch call.  Run boundaries are
+// timing-dependent but, per the batch contract in service.h, replicas that
+// slice the same deterministic stream differently still converge.
 #pragma once
 
 #include <atomic>
@@ -34,9 +42,11 @@ namespace psmr::smr {
 class PsmrReplica {
  public:
   /// `mpl` worker threads; must equal the C-G function's mpl().
+  /// `run_length` bounds the execution batches accumulated per worker
+  /// (1 restores one-command-at-a-time execution).
   PsmrReplica(transport::Network& net, multicast::Bus& bus,
               std::unique_ptr<Service> service, std::size_t mpl,
-              std::string name = "psmr-replica");
+              std::string name = "psmr-replica", std::size_t run_length = 16);
   ~PsmrReplica();
 
   PsmrReplica(const PsmrReplica&) = delete;
@@ -52,14 +62,22 @@ class PsmrReplica {
   [[nodiscard]] const Service& service() const { return *service_; }
 
  private:
+  class WorkerSink;
+
   void worker_loop(std::size_t worker);
-  void execute_and_reply(const Command& cmd, std::size_t worker);
+  void sync_execute(Command cmd, std::size_t worker);
+  void execute_run(std::vector<Command>& run, std::size_t worker);
+  /// Dedup classification of a parallel-mode delivery: true if the command
+  /// is fresh and should execute; replays the cached response (or drops a
+  /// stale duplicate) otherwise.
+  bool admit(const Command& cmd, std::size_t worker);
   util::Signal& signal(std::size_t from, std::size_t to) {
     return signals_[from * mpl_ + to];
   }
 
   transport::Network& net_;
   const std::size_t mpl_;
+  const std::size_t run_length_;
   const std::string name_;
   std::unique_ptr<Service> service_;
   std::vector<std::unique_ptr<multicast::MergeDeliverer>> subs_;
@@ -69,7 +87,7 @@ class PsmrReplica {
 
   // Per-worker duplicate suppression: last executed seq and its response per
   // client.  Deterministic across replicas because each worker's delivery
-  // stream is deterministic.
+  // stream is deterministic and batch members only commute when independent.
   struct LastExec {
     Seq seq = 0;
     util::Buffer response;

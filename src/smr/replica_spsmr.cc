@@ -7,8 +7,9 @@ namespace psmr::smr {
 SpsmrReplica::SpsmrReplica(transport::Network& net, multicast::Bus& bus,
                            std::unique_ptr<Service> service,
                            std::shared_ptr<const CGFunction> cg,
-                           std::size_t mpl, std::string name)
-    : core_(net, std::move(service), std::move(cg), mpl, name),
+                           std::size_t mpl, std::string name,
+                           SchedulerOptions options)
+    : core_(net, std::move(service), std::move(cg), mpl, name, options),
       name_(std::move(name)) {
   if (bus.num_groups() != 1) {
     throw std::invalid_argument(

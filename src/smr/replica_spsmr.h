@@ -18,11 +18,13 @@ class SpsmrReplica {
  public:
   /// The bus must have exactly one group (single delivery stream); `mpl`
   /// worker threads execute, and `cg` (computed for k = mpl) provides the
-  /// scheduler's dependency partitioning.
+  /// scheduler's dependency partitioning.  `options` tunes the workers'
+  /// execution batching and dedup bounds (see SchedulerOptions).
   SpsmrReplica(transport::Network& net, multicast::Bus& bus,
                std::unique_ptr<Service> service,
                std::shared_ptr<const CGFunction> cg, std::size_t mpl,
-               std::string name = "spsmr-replica");
+               std::string name = "spsmr-replica",
+               SchedulerOptions options = {});
   ~SpsmrReplica();
 
   SpsmrReplica(const SpsmrReplica&) = delete;

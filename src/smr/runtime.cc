@@ -12,6 +12,9 @@ Deployment::Deployment(DeploymentConfig cfg) : cfg_(std::move(cfg)) {
     throw std::invalid_argument("Deployment: cg_factory is required");
   }
   if (cfg_.mode == Mode::kSmr) cfg_.mpl = 1;
+  if (cfg_.exec_run_length == 0) cfg_.exec_run_length = 1;
+  SchedulerOptions sched_opts;
+  sched_opts.run_length = cfg_.exec_run_length;
 
   switch (cfg_.mode) {
     case Mode::kSmr:
@@ -27,11 +30,11 @@ Deployment::Deployment(DeploymentConfig cfg) : cfg_(std::move(cfg)) {
         if (cfg_.mode == Mode::kSmr) {
           psmr_.push_back(std::make_unique<PsmrReplica>(
               net_, *bus_, cfg_.service_factory(), 1,
-              "smr-replica" + std::to_string(r)));
+              "smr-replica" + std::to_string(r), cfg_.exec_run_length));
         } else {
           spsmr_.push_back(std::make_unique<SpsmrReplica>(
               net_, *bus_, cfg_.service_factory(), cfg_.cg_factory(cfg_.mpl),
-              cfg_.mpl, "spsmr-replica" + std::to_string(r)));
+              cfg_.mpl, "spsmr-replica" + std::to_string(r), sched_opts));
         }
       }
       break;
@@ -46,14 +49,14 @@ Deployment::Deployment(DeploymentConfig cfg) : cfg_(std::move(cfg)) {
       for (std::size_t r = 0; r < cfg_.replicas; ++r) {
         psmr_.push_back(std::make_unique<PsmrReplica>(
             net_, *bus_, cfg_.service_factory(), cfg_.mpl,
-            "psmr-replica" + std::to_string(r)));
+            "psmr-replica" + std::to_string(r), cfg_.exec_run_length));
       }
       break;
     }
     case Mode::kNoRep: {
       norep_ = std::make_unique<NoRepServer>(net_, cfg_.service_factory(),
                                              cfg_.cg_factory(cfg_.mpl),
-                                             cfg_.mpl);
+                                             cfg_.mpl, sched_opts);
       break;
     }
     case Mode::kLockServer: {
@@ -129,6 +132,19 @@ std::uint64_t Deployment::state_digest(std::size_t i) const {
   if (lock_) return lock_->service().state_digest();
   if (!psmr_.empty()) return psmr_.at(i)->service().state_digest();
   return spsmr_.at(i)->service().state_digest();
+}
+
+ExecStats Deployment::exec_stats(std::size_t i) const {
+  if (norep_) return norep_->service().exec_stats();
+  if (lock_) return lock_->service().exec_stats();
+  if (!psmr_.empty()) return psmr_.at(i)->service().exec_stats();
+  return spsmr_.at(i)->service().exec_stats();
+}
+
+ExecStats Deployment::exec_stats() const {
+  ExecStats total;
+  for (std::size_t i = 0; i < num_services(); ++i) total += exec_stats(i);
+  return total;
 }
 
 }  // namespace psmr::smr

@@ -51,6 +51,12 @@ struct DeploymentConfig {
   /// Submit-side coalescing on the multicast bus (see
   /// BusConfig::coalesce_submits).  Ignored by unreplicated modes.
   bool coalesce_submits = true;
+  /// Replica-side execution batching: maximum run of consecutive
+  /// independent commands handed to the service as one execute_batch call
+  /// (see service.h's batch contract).  1 restores one-command-at-a-time
+  /// execution; ignored by the lock server, which has no delivery stream
+  /// to accumulate from.
+  std::size_t exec_run_length = 16;
   /// Builds one fresh service instance (per replica).
   std::function<std::unique_ptr<Service>()> service_factory;
   /// Builds the shared thread-safe service (lock-server mode only); when
@@ -86,6 +92,13 @@ class Deployment {
   /// (zeros for unreplicated modes).  Tests and benches assert on these —
   /// e.g. mean_commands_per_batch() — rather than eyeballing throughput.
   [[nodiscard]] paxos::CoordinatorStats multicast_stats() const;
+
+  /// Execution-batching counters of service instance i (batches executed,
+  /// commands per batch, batched-read share) — the replica-side analogue
+  /// of multicast_stats().
+  [[nodiscard]] ExecStats exec_stats(std::size_t i) const;
+  /// Aggregate exec_stats over every service instance.
+  [[nodiscard]] ExecStats exec_stats() const;
 
   /// Number of service instances (replicas, or 1 for unreplicated modes).
   [[nodiscard]] std::size_t num_services() const;

@@ -14,6 +14,14 @@
 // commands mapped to the same worker (same key partition → dispatched to
 // that worker's FIFO queue preserves their order); a multi-group γ means it
 // must be serialized against everything (drain, run, drain).
+//
+// Batched execution: each worker accumulates a contiguous run of mutually
+// independent commands from its FIFO queue (up to run_length; a conflicting
+// or same-client-stale command ends the run, and an empty queue flushes
+// immediately so latency is never traded for batch size) and executes it as
+// one Service::execute_batch call — carrying the delivery layer's batch
+// shape down to batch-aware services like the B+-tree's pipelined
+// find_batch.  See service.h for why any run split is deterministic.
 #pragma once
 
 #include <atomic>
@@ -31,11 +39,23 @@
 
 namespace psmr::smr {
 
+struct SchedulerOptions {
+  /// Maximum commands per execution batch; 1 restores strictly
+  /// one-command-at-a-time execution.
+  std::size_t run_length = 16;
+  /// The per-client dedup map evicts entries for clients that stayed idle
+  /// for more than this many scheduled commands (0 disables eviction).  An
+  /// evicted client loses stale-retransmission suppression, which is safe
+  /// in practice: proxies retransmit within their response timeout, orders
+  /// of magnitude sooner than any realistic window.
+  std::uint64_t dedup_idle_window = 1 << 16;
+};
+
 class SchedulerCore {
  public:
   SchedulerCore(transport::Network& net, std::unique_ptr<Service> service,
                 std::shared_ptr<const CGFunction> cg, std::size_t num_workers,
-                std::string name);
+                std::string name, SchedulerOptions options = {});
   ~SchedulerCore();
 
   SchedulerCore(const SchedulerCore&) = delete;
@@ -51,17 +71,22 @@ class SchedulerCore {
   [[nodiscard]] std::uint64_t executed() const { return executed_.load(); }
   [[nodiscard]] const Service& service() const { return *service_; }
   [[nodiscard]] std::size_t num_workers() const { return workers_.size(); }
+  /// Current per-client dedup map population (bounded-growth tests).
+  [[nodiscard]] std::size_t dedup_size() const { return dedup_.size(); }
 
  private:
   void worker_loop(std::size_t i);
   void dispatch(std::size_t worker, Command cmd);
+  void execute_run(std::vector<Command>& run);
   /// Blocks the scheduler until every worker queue is empty and idle.
   void drain();
+  void maybe_evict_dedup();
 
   transport::Network& net_;
   std::unique_ptr<Service> service_;
   std::shared_ptr<const CGFunction> cg_;
   const std::string name_;
+  const SchedulerOptions opts_;
 
   struct WorkerSlot {
     util::BlockingQueue<Command> queue;
@@ -74,7 +99,12 @@ class SchedulerCore {
   std::condition_variable idle_cv_;
   std::int64_t in_flight_ = 0;  // commands dispatched but not finished
 
-  std::unordered_map<ClientId, Seq> dedup_;
+  struct DedupEntry {
+    Seq seq = 0;
+    std::uint64_t last_seen = 0;  // schedule tick of the latest command
+  };
+  std::unordered_map<ClientId, DedupEntry> dedup_;
+  std::uint64_t schedule_ticks_ = 0;
   std::atomic<std::uint64_t> executed_{0};
   bool started_ = false;
 };

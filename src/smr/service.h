@@ -1,40 +1,247 @@
-// Service abstraction: the replicated state machine.
+// Service abstraction: the replicated state machine, batch-first.
 //
 // A Service is "state variables plus commands that change the state" (paper
 // Section III).  Execution must be deterministic: output and state changes
-// are a function of the current state and the command.  A service written
-// against this interface runs unchanged under SMR, sP-SMR and P-SMR — the
-// transparency property of Section IV-B — because all cross-command
-// synchronization is handled by the server proxies around it.
+// are a function of the current state and the executed command sequence.  A
+// service written against this interface runs unchanged under SMR, sP-SMR
+// and P-SMR — the transparency property of Section IV-B — because all
+// cross-command synchronization is handled by the server proxies around it.
 //
-// Thread-safety contract: execute() may be called concurrently by multiple
-// worker threads ONLY for commands the service's C-Dep declares independent.
-// P-SMR's proxies guarantee dependent commands never overlap; services must
-// tolerate concurrent independent commands (e.g., operating on disjoint keys
-// without restructuring shared state).  The LockServer deployment instead
-// requires an internally synchronized service (see make_locked()).
+// Batch contract.  The unit of execution is a CommandBatch: a contiguous run
+// of commands plus a ResponseSink receiving each command's marshaled reply.
+// Replicas (SchedulerCore workers, PsmrReplica workers) accumulate runs of
+// *mutually independent* commands from their delivery streams and hand them
+// down as one batch, so a service that owns a batch-shaped fast path (the
+// B+-tree's pipelined find_batch) can overlap the commands' memory stalls
+// instead of resolving them one dependent miss chain at a time.
+//
+// What may share a batch: only command pairs the service declares
+// independent via may_share_batch() — in practice, pairs with no C-Dep edge
+// (service.h's callers never ask about dependent pairs' order).  Because
+// every pair in a batch is independent, the service may execute a batch's
+// commands in ANY order (or interleaved, e.g. all reads through one
+// pipelined pass after the writes): every serialization of an
+// all-independent set produces the same state and the same per-command
+// outputs.  That is the determinism argument — replicas whose timing slices
+// the same delivery stream into different runs (batch boundaries are
+// timing-dependent: drain-on-empty) still converge, because batch
+// boundaries only ever separate commands whose relative order is
+// irrelevant.  Dependent commands never share a batch and are always
+// executed in delivery order, exactly as before this API.
+//
+// Thread-safety contract: execute_batch() may be called concurrently by
+// multiple worker threads ONLY for commands the service's C-Dep declares
+// independent.  P-SMR's proxies guarantee dependent commands never overlap;
+// services must tolerate concurrent independent commands (e.g., operating
+// on disjoint keys without restructuring shared state).  The LockServer
+// deployment instead requires an internally synchronized service (see
+// LockedService).
+//
+// Migration path: a single-command state machine implements
+// SequentialService (the original execute() shape, unchanged) and is
+// mounted with SequentialServiceAdapter / make_batched(); it executes each
+// batch member in batch order, so existing services and test fakes keep
+// their exact semantics while the replicas speak only the batch API.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
+#include <vector>
 
 #include "smr/command.h"
 
 namespace psmr::smr {
 
+/// Execution-side counters, the replica analogue of the multicast layer's
+/// CoordinatorStats: how many batches were executed, how full they were,
+/// and what share of commands resolved through a pipelined batched-read
+/// lane.  Snapshot type; see Service::exec_stats().
+struct ExecStats {
+  std::uint64_t batches = 0;
+  std::uint64_t commands = 0;
+  /// Commands whose reads resolved through a pipelined multi-lookup lane
+  /// (e.g. BPlusTree::find_batch) rather than one-at-a-time descent.
+  std::uint64_t batched_reads = 0;
+  /// Largest batch executed so far.
+  std::uint64_t max_batch = 0;
+
+  [[nodiscard]] double mean_commands_per_batch() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(commands) /
+                              static_cast<double>(batches);
+  }
+  [[nodiscard]] double batched_read_share() const {
+    return commands == 0 ? 0.0
+                         : static_cast<double>(batched_reads) /
+                               static_cast<double>(commands);
+  }
+
+  ExecStats& operator+=(const ExecStats& o) {
+    batches += o.batches;
+    commands += o.commands;
+    batched_reads += o.batched_reads;
+    max_batch = o.max_batch > max_batch ? o.max_batch : max_batch;
+    return *this;
+  }
+  ExecStats operator-(const ExecStats& o) const {
+    ExecStats d = *this;
+    d.batches -= o.batches;
+    d.commands -= o.commands;
+    d.batched_reads -= o.batched_reads;
+    // max_batch is a high-water mark, not a counter; keep the later value.
+    return d;
+  }
+};
+
+/// Receives the marshaled responses of a CommandBatch, one per command.
+/// accept(i, payload) is called exactly once for every command index of the
+/// batch, from the executing thread, possibly out of batch order (a
+/// pipelined read lane completes as a unit after the writes).
+class ResponseSink {
+ public:
+  virtual ~ResponseSink() = default;
+  virtual void accept(std::size_t index, util::Buffer payload) = 0;
+};
+
+/// ResponseSink that buffers responses in batch order.  Used by the
+/// single-command convenience wrapper and by tests.
+class CollectingSink final : public ResponseSink {
+ public:
+  explicit CollectingSink(std::size_t n) : responses(n) {}
+  void accept(std::size_t index, util::Buffer payload) override {
+    responses.at(index) = std::move(payload);
+  }
+  std::vector<util::Buffer> responses;
+};
+
+/// A contiguous run of commands executed as one unit.  The commands are
+/// pairwise independent (see the batch contract above) unless the batch was
+/// produced by the single-command wrapper (size 1, trivially so).
+struct CommandBatch {
+  std::span<const Command> commands;
+  ResponseSink* sink = nullptr;
+
+  [[nodiscard]] std::size_t size() const { return commands.size(); }
+};
+
 class Service {
  public:
   virtual ~Service() = default;
 
-  /// Executes one command and returns its marshaled response.
-  virtual util::Buffer execute(const Command& cmd) = 0;
+  /// Executes every command of the batch and delivers each marshaled
+  /// response through batch.sink.  Records ExecStats.
+  void execute_batch(CommandBatch& batch) {
+    do_execute_batch(batch);
+    const auto n = static_cast<std::uint64_t>(batch.size());
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    commands_.fetch_add(n, std::memory_order_relaxed);
+    std::uint64_t seen = max_batch_.load(std::memory_order_relaxed);
+    while (n > seen &&
+           !max_batch_.compare_exchange_weak(seen, n,
+                                             std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Single-command convenience: a batch of one.  Keeps call sites that
+  /// execute one command at a time (LockServer handlers, synchronous-mode
+  /// barriers, unit tests) source-compatible with the old contract.
+  util::Buffer execute(const Command& cmd) {
+    CollectingSink sink(1);
+    CommandBatch batch{std::span<const Command>(&cmd, 1), &sink};
+    execute_batch(batch);
+    return std::move(sink.responses.front());
+  }
+
+  /// May x and y share an execution batch?  Must return true only for
+  /// C-Dep-independent pairs, because execute_batch() is free to reorder
+  /// within a batch.  Conservative default: nothing shares, i.e. every
+  /// batch the accumulators form has size 1 and execution degenerates to
+  /// the old one-command-at-a-time behaviour.
+  [[nodiscard]] virtual bool may_share_batch(const Command& /*x*/,
+                                             const Command& /*y*/) const {
+    return false;
+  }
 
   /// Order-insensitive-free digest of the full service state.  Tests use it
   /// to assert replica convergence: replicas that executed equivalent
   /// command histories must produce equal digests.
   [[nodiscard]] virtual std::uint64_t state_digest() const = 0;
+
+  /// Execution counters since construction.  Wrappers (LockedService,
+  /// SequentialServiceAdapter) report the innermost recording layer.
+  [[nodiscard]] virtual ExecStats exec_stats() const {
+    ExecStats s;
+    s.batches = batches_.load(std::memory_order_relaxed);
+    s.commands = commands_.load(std::memory_order_relaxed);
+    s.batched_reads = batched_reads_.load(std::memory_order_relaxed);
+    s.max_batch = max_batch_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ protected:
+  virtual void do_execute_batch(CommandBatch& batch) = 0;
+
+  /// Called by implementations when `n` commands of the current batch were
+  /// resolved through a pipelined read lane.
+  void note_batched_reads(std::uint64_t n) {
+    batched_reads_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> commands_{0};
+  std::atomic<std::uint64_t> batched_reads_{0};
+  std::atomic<std::uint64_t> max_batch_{0};
 };
+
+/// The original single-command state-machine shape: one command in, one
+/// marshaled response out.  Implementations carry no batch logic at all;
+/// mount them with SequentialServiceAdapter (or make_batched()).
+class SequentialService {
+ public:
+  virtual ~SequentialService() = default;
+
+  /// Executes one command and returns its marshaled response.
+  virtual util::Buffer execute(const Command& cmd) = 0;
+
+  /// See Service::state_digest().
+  [[nodiscard]] virtual std::uint64_t state_digest() const = 0;
+};
+
+/// Runs a SequentialService under the batch contract: each batch member is
+/// executed one at a time, in batch order, so the inner service observes
+/// exactly the command sequence it would have under the old API.  Batches
+/// stay at size 1 by default (may_share_batch is inherited false), so
+/// wrapping changes nothing observable.
+class SequentialServiceAdapter final : public Service {
+ public:
+  explicit SequentialServiceAdapter(std::unique_ptr<SequentialService> inner)
+      : inner_(std::move(inner)) {}
+
+  [[nodiscard]] std::uint64_t state_digest() const override {
+    return inner_->state_digest();
+  }
+  [[nodiscard]] SequentialService& inner() { return *inner_; }
+
+ protected:
+  void do_execute_batch(CommandBatch& batch) override {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      batch.sink->accept(i, inner_->execute(batch.commands[i]));
+    }
+  }
+
+ private:
+  std::unique_ptr<SequentialService> inner_;
+};
+
+/// Mounts a single-command service on the batch-first replica stack.
+inline std::unique_ptr<Service> make_batched(
+    std::unique_ptr<SequentialService> inner) {
+  return std::make_unique<SequentialServiceAdapter>(std::move(inner));
+}
 
 /// Wraps any Service with a single mutex, making it safe for unsynchronized
 /// concurrent callers (coarse-grained stand-in used in tests; the BDB-style
@@ -44,14 +251,26 @@ class LockedService : public Service {
   explicit LockedService(std::unique_ptr<Service> inner)
       : inner_(std::move(inner)) {}
 
-  util::Buffer execute(const Command& cmd) override {
-    std::lock_guard lock(mu_);
-    return inner_->execute(cmd);
+  [[nodiscard]] bool may_share_batch(const Command& x,
+                                     const Command& y) const override {
+    return inner_->may_share_batch(x, y);
   }
 
   [[nodiscard]] std::uint64_t state_digest() const override {
     std::lock_guard lock(mu_);
     return inner_->state_digest();
+  }
+
+  [[nodiscard]] ExecStats exec_stats() const override {
+    // The inner service records every batch this wrapper forwards; report
+    // its counters so batched-read shares survive the wrapping.
+    return inner_->exec_stats();
+  }
+
+ protected:
+  void do_execute_batch(CommandBatch& batch) override {
+    std::lock_guard lock(mu_);
+    inner_->execute_batch(batch);
   }
 
  private:

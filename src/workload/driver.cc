@@ -97,10 +97,12 @@ RunResult run_kv_workload(smr::Deployment& deployment,
   std::this_thread::sleep_for(std::chrono::duration<double>(spec.warmup_s));
   std::int64_t t0 = util::now_us();
   std::int64_t cpu0 = process_cpu_us();
+  smr::ExecStats exec0 = deployment.exec_stats();
   measure_from_us.store(t0);
   std::this_thread::sleep_for(std::chrono::duration<double>(spec.duration_s));
   std::int64_t t1 = util::now_us();
   std::int64_t cpu1 = process_cpu_us();
+  smr::ExecStats exec1 = deployment.exec_stats();
   stop.store(true);
   for (auto& t : threads) t.join();
 
@@ -115,6 +117,7 @@ RunResult run_kv_workload(smr::Deployment& deployment,
   res.p99_latency_us = res.latency.quantile(0.99);
   res.cpu_pct = 100.0 * static_cast<double>(cpu1 - cpu0) /
                 static_cast<double>(t1 - t0);
+  res.exec = exec1 - exec0;
   return res;
 }
 

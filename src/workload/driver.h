@@ -47,6 +47,11 @@ struct RunResult {
   util::Histogram latency;
   double cpu_pct = 0;  // process CPU time / wall time * 100
   std::uint64_t completed = 0;
+  /// Replica-side execution batching over the measured interval, aggregated
+  /// across all service instances (see smr::ExecStats): how the delivered
+  /// load actually reached the service — batches executed, commands per
+  /// batch, share of commands resolved through a pipelined read lane.
+  smr::ExecStats exec;
 };
 
 /// Drives the deployment with closed-loop clients and measures it.

@@ -6,6 +6,7 @@
 // rather than throughput, so the tests stay meaningful on a loaded host.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <thread>
 
@@ -13,6 +14,7 @@
 #include "paxos/ring.h"
 #include "test_support.h"
 #include "transport/network.h"
+#include "util/sync.h"
 
 namespace psmr::paxos {
 namespace {
@@ -352,11 +354,13 @@ TEST(Coalescer, DisabledBusSubmitsDirectly) {
 }
 
 TEST(Coalescer, ConcurrentSharedRingSubmitsPiggyback) {
-  // Hammer the shared g_all ring from several threads until the coalescer
-  // observably merges concurrent submits into one wire message.  Each round
-  // is checked for full delivery, so the loop also re-verifies correctness;
-  // the piggyback race is overwhelmingly likely per round and the retry cap
-  // makes a flaky miss effectively impossible.
+  // Deterministic rendezvous instead of timing: thread A's submit to the
+  // shared g_all ring becomes the active flusher; the flush-pause hook
+  // (which runs while A holds flushing_ but not the lock) wakes the main
+  // thread, whose submit must take the piggyback path; only then is A
+  // released to drain the piggybacked command in a second flush wave.
+  // This pins the exact interleaving the flat-combining funnel exists for,
+  // on any host, in one round.
   Network net;
   BusConfig cfg;
   cfg.num_groups = 2;
@@ -365,38 +369,54 @@ TEST(Coalescer, ConcurrentSharedRingSubmitsPiggyback) {
   Bus bus(net, cfg);
   auto sub = bus.subscribe(0);
   bus.start();
+  auto* coalescer = bus.shared_coalescer();
+  ASSERT_NE(coalescer, nullptr);
 
-  constexpr int kThreads = 4;
-  constexpr std::uint64_t kPerThread = 200;
-  std::uint64_t total_delivered = 0;
-  for (int round = 0; round < 20 && bus.coalesce_stats().piggybacked == 0;
-       ++round) {
-    test_support::run_threads(kThreads, [&](int t) {
-      auto [node, box] = net.register_node();
-      for (std::uint64_t i = 0; i < kPerThread; ++i) {
-        ASSERT_TRUE(bus.multicast(
-            node, GroupSet::all(2),
-            msg(static_cast<std::uint64_t>(t) * kPerThread + i)));
-      }
-    });
-    total_delivered += kThreads * kPerThread;
-    std::uint64_t got = 0;
-    while (got < kThreads * kPerThread) {
-      auto d = sub->next();
-      ASSERT_TRUE(d.has_value());
-      ++got;
+  util::Signal flusher_paused;
+  util::Signal piggyback_done;
+  std::atomic<int> waves{0};
+  coalescer->set_flush_pause([&] {
+    // Pause only the first wave; the drain wave for the piggybacked
+    // command must run through.
+    if (waves.fetch_add(1) == 0) {
+      flusher_paused.notify();
+      piggyback_done.wait();
     }
+  });
+
+  auto [a_node, a_box] = net.register_node();
+  std::thread flusher([&] {
+    EXPECT_TRUE(bus.multicast(a_node, GroupSet::all(2), msg(1)));
+  });
+  // Bounded wait so a broken flusher fails the test instead of deadlocking
+  // it against the suite timeout.
+  if (!flusher_paused.wait_for(std::chrono::seconds(5))) {
+    piggyback_done.notify();  // unblock the hook if it fires late
+    flusher.join();
+    FAIL() << "flusher never reached the flush-pause rendezvous";
+  }
+  // The flusher is parked mid-flush: this submit piggybacks by construction.
+  auto [b_node, b_box] = net.register_node();
+  ASSERT_TRUE(bus.multicast(b_node, GroupSet::all(2), msg(2)));
+  EXPECT_EQ(coalescer->stats().piggybacked, 1u);
+  piggyback_done.notify();
+  flusher.join();
+  coalescer->set_flush_pause({});
+
+  // Both commands reach every subscriber of the shared ring.
+  for (int i = 0; i < 2; ++i) {
+    auto d = sub->next();
+    ASSERT_TRUE(d.has_value());
   }
 
   auto cs = bus.coalesce_stats();
-  EXPECT_GT(cs.piggybacked, 0u);
-  EXPECT_EQ(cs.flushed_commands, total_delivered);
-  // Piggybacking means fewer wire messages than commands.
-  EXPECT_LT(cs.flushes, cs.flushed_commands);
-  // The shared ring's coordinator saw multi-command submit messages.
+  EXPECT_EQ(cs.piggybacked, 1u);
+  EXPECT_EQ(cs.flushed_commands, 2u);
+  // Both wire messages came from the flusher thread — the piggybacked
+  // submit returned without ever touching the ring.
+  EXPECT_EQ(cs.flushes, 2u);
   auto shared = bus.shared_ring_stats();
-  EXPECT_EQ(shared.submit_commands, total_delivered);
-  EXPECT_LT(shared.submit_msgs, shared.submit_commands);
+  EXPECT_EQ(shared.submit_commands, 2u);
 }
 
 }  // namespace

@@ -36,13 +36,17 @@ struct ReadRecord {
   std::uint64_t value;
 };
 
-// (mpl, batching profile): "default" is the tuned test ring; the
-// aggressive profiles re-run the same history check under batching
-// extremes (near-zero timeout / cap-driven sealing), which is where a
-// batcher bug would first corrupt ordering.
+// (mpl, batching profile, execution run length): "default" is the tuned
+// test ring; the aggressive profiles re-run the same history check under
+// multicast-batching extremes (near-zero timeout / cap-driven sealing),
+// which is where a batcher bug would first corrupt ordering.  run_length
+// forces replica-side execution batching fully on (8) or off (1) — a batch
+// accumulator that ever groups a dependent read/update pair shows up here
+// as a stale or futuristic read.
 struct LinParam {
   int mpl;
   const char* profile;
+  std::size_t run_length = 16;
 };
 
 paxos::RingConfig ring_for(const char* profile) {
@@ -60,9 +64,11 @@ class PsmrLinearizability : public ::testing::TestWithParam<LinParam> {};
 
 TEST_P(PsmrLinearizability, SequentialWriterConcurrentReaders) {
   const int mpl = GetParam().mpl;
-  test_support::Cluster cluster(test_support::kv_config_with_ring(
+  auto cfg = test_support::kv_config_with_ring(
       Mode::kPsmr, static_cast<std::size_t>(mpl),
-      ring_for(GetParam().profile), /*initial_keys=*/16));
+      ring_for(GetParam().profile), /*initial_keys=*/16);
+  cfg.exec_run_length = GetParam().run_length;
+  test_support::Cluster cluster(std::move(cfg));
   Deployment& d = cluster.deployment();
 
   constexpr std::uint64_t kKey = 5;
@@ -140,10 +146,13 @@ INSTANTIATE_TEST_SUITE_P(
     Mpl, PsmrLinearizability,
     ::testing::Values(LinParam{1, "default"}, LinParam{4, "default"},
                       LinParam{8, "default"}, LinParam{4, "tiny-timeout"},
-                      LinParam{4, "tiny-cap"}),
+                      LinParam{4, "tiny-cap"},
+                      LinParam{4, "default", /*run_length=*/8},
+                      LinParam{4, "default", /*run_length=*/1}),
     [](const auto& info) {
       std::string name =
-          "mpl" + std::to_string(info.param.mpl) + "_" + info.param.profile;
+          "mpl" + std::to_string(info.param.mpl) + "_" + info.param.profile +
+          "_rl" + std::to_string(info.param.run_length);
       for (auto& c : name) {
         if (c == '-') c = '_';
       }

@@ -20,7 +20,9 @@ smr::DeploymentConfig fs_config(smr::Mode mode, std::size_t mpl) {
   cfg.ring.batch_timeout = std::chrono::microseconds(500);
   cfg.ring.skip_interval = std::chrono::microseconds(1500);
   cfg.ring.rto = std::chrono::microseconds(10000);
-  cfg.service_factory = [] { return std::make_unique<FsService>(); };
+  cfg.service_factory = [] {
+    return smr::make_batched(std::make_unique<FsService>());
+  };
   cfg.cg_factory = [](std::size_t k) { return fs_cg(k); };
   return cfg;
 }

@@ -24,7 +24,7 @@ enum PairCommand : CommandId {
   kTotal = 4,  // sum of all slots — all-group command
 };
 
-class SlotService : public Service {
+class SlotService : public SequentialService {
  public:
   explicit SlotService(std::uint64_t slots) {
     for (std::uint64_t s = 0; s < slots; ++s) slots_[s] = 0;
@@ -108,7 +108,7 @@ Deployment make_deployment(std::size_t mpl, std::uint64_t slots,
   cfg.replicas = 2;
   cfg.ring = ring;
   cfg.service_factory = [slots] {
-    return std::make_unique<SlotService>(slots);
+    return make_batched(std::make_unique<SlotService>(slots));
   };
   cfg.cg_factory = [](std::size_t k) { return std::make_shared<SlotCg>(k); };
   return Deployment(std::move(cfg));

@@ -16,7 +16,9 @@ namespace {
 using kvstore::KvService;
 
 // A service that records executions (for dedup/ordering assertions).
-class RecordingService : public Service {
+// Single-command shape: mounted through make_batched(), exercising the
+// migration path the adapter exists for.
+class RecordingService : public SequentialService {
  public:
   util::Buffer execute(const Command& cmd) override {
     std::lock_guard lock(mu_);
@@ -108,8 +110,8 @@ TEST(SchedulerCore, DropsDuplicateSubmissions) {
   transport::Network net;
   auto svc = std::make_unique<RecordingService>();
   auto* svc_ptr = svc.get();
-  SchedulerCore core(net, std::move(svc), kvstore::kv_keyed_cg(2), 2,
-                     "test");
+  SchedulerCore core(net, make_batched(std::move(svc)), kvstore::kv_keyed_cg(2),
+                     2, "test");
   core.start();
   auto [me, mybox] = net.register_node();
 
@@ -133,8 +135,8 @@ TEST(SchedulerCore, SerializedCommandRunsAlone) {
   transport::Network net;
   auto svc = std::make_unique<RecordingService>();
   auto* svc_ptr = svc.get();
-  SchedulerCore core(net, std::move(svc), kvstore::kv_keyed_cg(4), 4,
-                     "test");
+  SchedulerCore core(net, make_batched(std::move(svc)), kvstore::kv_keyed_cg(4),
+                     4, "test");
   core.start();
   auto [me, mybox] = net.register_node();
 
@@ -191,7 +193,7 @@ TEST(PsmrReplica, ReplaysResponseForRetransmittedCommand) {
   multicast::Bus bus(net, bus_cfg);
   auto svc = std::make_unique<RecordingService>();
   auto* svc_ptr = svc.get();
-  PsmrReplica replica(net, bus, std::move(svc), 2);
+  PsmrReplica replica(net, bus, make_batched(std::move(svc)), 2);
   bus.start();
   replica.start();
 
