@@ -64,11 +64,13 @@ inline sim::SimConfig base_sim(const Options& opt, sim::Tech tech,
 /// Real-runtime deployment over the key-value store.
 inline smr::DeploymentConfig real_kv_config(smr::Mode mode, std::size_t mpl,
                                             std::uint64_t keys,
-                                            std::size_t exec_run_length = 16) {
+                                            std::size_t exec_run_length = 16,
+                                            bool coalesce_responses = true) {
   smr::DeploymentConfig cfg;
   cfg.mode = mode;
   cfg.mpl = mpl;
   cfg.replicas = 2;
+  cfg.coalesce_responses = coalesce_responses;
   cfg.ring.batch_timeout = std::chrono::microseconds(500);
   cfg.ring.skip_interval = std::chrono::microseconds(1500);
   cfg.ring.rto = std::chrono::microseconds(10000);
@@ -101,9 +103,11 @@ inline sim::SimResult run_real_kv(const Options& opt, sim::Tech tech,
                                   int workers, const workload::KvMix& mix,
                                   bool zipf = false,
                                   std::size_t exec_run_length = 16,
-                                  workload::RunResult* raw = nullptr) {
+                                  workload::RunResult* raw = nullptr,
+                                  bool coalesce_responses = true) {
   auto dcfg = real_kv_config(to_mode(tech), static_cast<std::size_t>(workers),
-                             /*keys=*/200'000, exec_run_length);
+                             /*keys=*/200'000, exec_run_length,
+                             coalesce_responses);
   smr::Deployment d(std::move(dcfg));
   d.start();
   workload::KvWorkloadSpec spec;

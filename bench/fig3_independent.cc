@@ -15,6 +15,12 @@
 // length 1, the pre-batching sequential path), plus a full-deployment
 // comparison with ExecStats.  The pipeline ratio is the end-to-end
 // acceptance number recorded in sim/calibration.h (ExecCalibration).
+//
+// The same flag also measures the response-path record (PR: batched reply
+// coalescing): the full sP-SMR deployment at window 50 with reply
+// coalescing on vs off — Kcps, responses per wire message, flush-reason
+// counts and latency percentiles — written to BENCH_response.json next to
+// the main JSON and pinned in sim/calibration.h (ResponseCalibration).
 #include <atomic>
 #include <thread>
 
@@ -89,6 +95,22 @@ PipelineResult run_exec_pipeline(std::size_t run_length, std::uint64_t keys,
   return r;
 }
 
+/// BENCH_response.json lands next to the main --json file.
+std::string response_json_path(const std::string& json) {
+  auto slash = json.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "" : json.substr(0, slash + 1);
+  return dir + "BENCH_response.json";
+}
+
+void print_latency(std::FILE* f, const workload::RunResult& r,
+                   const char* trailing, const char* key = "latency_us") {
+  std::fprintf(f,
+               "    \"%s\": {\"avg\": %.1f, \"p50\": %.1f, "
+               "\"p95\": %.1f, \"p99\": %.1f}%s\n",
+               key, r.avg_latency_us, r.p50_latency_us, r.p95_latency_us,
+               r.p99_latency_us, trailing);
+}
+
 void write_json(const Options& opt) {
   // Pipeline measurement at the paper's memory-resident working-set scale
   // (batching pays for overlapping DRAM miss chains; a cache-resident tree
@@ -110,6 +132,15 @@ void write_json(const Options& opt) {
               /*zipf=*/false, /*exec_run_length=*/1, &real_seq);
   run_real_kv(opt, sim::Tech::kSpsmr, 2, workload::KvMix{100, 0, 0, 0},
               /*zipf=*/false, /*exec_run_length=*/16, &real_batched);
+
+  // Response-path record: the same batched deployment (window 50) with
+  // reply coalescing forced off.  real_batched is the coalescing-on leg.
+  std::fprintf(stderr, "fig3: measuring response path (coalescing off)...\n");
+  workload::RunResult resp_off;
+  run_real_kv(opt, sim::Tech::kSpsmr, 2, workload::KvMix{100, 0, 0, 0},
+              /*zipf=*/false, /*exec_run_length=*/16, &resp_off,
+              /*coalesce_responses=*/false);
+  const workload::RunResult& resp_on = real_batched;
 
   std::FILE* f = std::fopen(opt.json.c_str(), "w");
   if (!f) {
@@ -137,15 +168,54 @@ void write_json(const Options& opt) {
   std::fprintf(f, "    \"batched_kcps\": %.1f,\n", real_batched.kcps);
   std::fprintf(f, "    \"mean_commands_per_batch\": %.2f,\n",
                real_batched.exec.mean_commands_per_batch());
-  std::fprintf(f, "    \"batched_read_share\": %.3f\n",
+  std::fprintf(f, "    \"batched_read_share\": %.3f,\n",
                real_batched.exec.batched_read_share());
+  print_latency(f, real_batched, "");
   std::fprintf(f, "  }\n}\n");
   std::fclose(f);
+
+  const std::string resp_path = response_json_path(opt.json);
+  std::FILE* rf = std::fopen(resp_path.c_str(), "w");
+  if (!rf) {
+    std::fprintf(stderr, "fig3: cannot open %s\n", resp_path.c_str());
+    return;
+  }
+  const double resp_ratio =
+      resp_off.kcps > 0 ? resp_on.kcps / resp_off.kcps : 0;
+  std::fprintf(rf, "{\n  \"bench\": \"fig3_response_batching\",\n");
+  std::fprintf(rf, "  \"deployment_spsmr\": {\n");
+  std::fprintf(rf, "    \"window\": 50,\n");
+  std::fprintf(rf, "    \"uncoalesced_kcps\": %.1f,\n", resp_off.kcps);
+  std::fprintf(rf, "    \"coalesced_kcps\": %.1f,\n", resp_on.kcps);
+  std::fprintf(rf, "    \"coalesced_vs_uncoalesced\": %.3f,\n", resp_ratio);
+  std::fprintf(rf, "    \"responses_per_message\": %.2f,\n",
+               resp_on.response.mean_responses_per_message());
+  std::fprintf(rf, "    \"uncoalesced_responses_per_message\": %.2f,\n",
+               resp_off.response.mean_responses_per_message());
+  std::fprintf(rf,
+               "    \"flush\": {\"batch\": %llu, \"size\": %llu, "
+               "\"bytes\": %llu, \"timeout\": %llu},\n",
+               static_cast<unsigned long long>(resp_on.response.flush_batch),
+               static_cast<unsigned long long>(resp_on.response.flush_size),
+               static_cast<unsigned long long>(resp_on.response.flush_bytes),
+               static_cast<unsigned long long>(
+                   resp_on.response.flush_timeout));
+  print_latency(rf, resp_on, ",", "coalesced_latency_us");
+  print_latency(rf, resp_off, "", "uncoalesced_latency_us");
+  std::fprintf(rf, "  }\n}\n");
+  std::fclose(rf);
+
   std::fprintf(stderr,
                "fig3: exec pipeline %0.f -> %.0f Kcps (%.2fx, %.1f "
                "cmds/batch); wrote %s\n",
                seq.kcps, batched.kcps, ratio,
                batched.exec.mean_commands_per_batch(), opt.json.c_str());
+  std::fprintf(stderr,
+               "fig3: responses %.1f -> %.1f Kcps (%.2fx, %.1f resp/msg); "
+               "wrote %s\n",
+               resp_off.kcps, resp_on.kcps, resp_ratio,
+               resp_on.response.mean_responses_per_message(),
+               resp_path.c_str());
 }
 
 }  // namespace

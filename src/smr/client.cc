@@ -1,5 +1,6 @@
 #include "smr/client.h"
 
+#include "smr/response_batch.h"
 #include "util/log.h"
 
 namespace psmr::smr {
@@ -40,10 +41,26 @@ Seq ClientProxy::submit(CommandId cmd, util::Buffer params) {
   return next_seq_ - 1;
 }
 
+void ClientProxy::absorb(Response resp) {
+  auto it = pending_.find(resp.seq);
+  if (it == pending_.end()) return;  // duplicate from another replica
+  Completion done;
+  done.seq = resp.seq;
+  done.payload = std::move(resp.payload);
+  done.latency_us = util::now_us() - it->second.submitted_us;
+  pending_.erase(it);
+  ready_.push_back(std::move(done));
+}
+
 std::optional<ClientProxy::Completion> ClientProxy::poll(
     std::chrono::microseconds timeout) {
   auto deadline = std::chrono::steady_clock::now() + timeout;
   while (true) {
+    if (!ready_.empty()) {
+      Completion done = std::move(ready_.front());
+      ready_.pop_front();
+      return done;
+    }
     auto now = std::chrono::steady_clock::now();
     if (now >= deadline) return std::nullopt;
     auto msg = mailbox_->pop_for(
@@ -52,19 +69,21 @@ std::optional<ClientProxy::Completion> ClientProxy::poll(
       if (mailbox_->closed()) return std::nullopt;
       continue;
     }
-    auto resp = Response::decode(msg->payload);
-    if (!resp) {
-      PSMR_WARN("client " << id_ << ": malformed response");
-      continue;
+    if (msg->type == transport::MsgType::kSmrResponseMany) {
+      auto batch = decode_response_batch(msg->payload);
+      if (!batch) {
+        PSMR_WARN("client " << id_ << ": malformed multi-response");
+        continue;
+      }
+      for (auto& resp : *batch) absorb(std::move(resp));
+    } else {
+      auto resp = Response::decode(msg->payload);
+      if (!resp) {
+        PSMR_WARN("client " << id_ << ": malformed response");
+        continue;
+      }
+      absorb(std::move(*resp));
     }
-    auto it = pending_.find(resp->seq);
-    if (it == pending_.end()) continue;  // duplicate from another replica
-    Completion done;
-    done.seq = resp->seq;
-    done.payload = std::move(resp->payload);
-    done.latency_us = util::now_us() - it->second.submitted_us;
-    pending_.erase(it);
-    return done;
   }
 }
 

@@ -16,6 +16,7 @@
 //     to 50 outstanding commands, Section VI-B).
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <unordered_map>
 
@@ -59,12 +60,23 @@ class ClientProxy {
 
   /// Waits up to `timeout` for any outstanding command to complete.
   /// Duplicate responses (from the other replicas) are absorbed silently.
+  /// A coalesced kSmrResponseMany frame (see response_batch.h) may complete
+  /// several commands at once; poll() returns them one per call, draining
+  /// the ready queue before touching the mailbox again.
   std::optional<Completion> poll(std::chrono::microseconds timeout);
 
-  [[nodiscard]] std::size_t outstanding() const { return pending_.size(); }
+  /// Commands submitted but not yet returned to the caller (commands whose
+  /// response arrived in a coalesced frame but has not been poll()ed yet
+  /// still count).
+  [[nodiscard]] std::size_t outstanding() const {
+    return pending_.size() + ready_.size();
+  }
 
  private:
   bool dispatch(const Command& c);
+  /// Matches one decoded response against pending_; completions queue in
+  /// ready_, duplicates (other replicas) are absorbed silently.
+  void absorb(Response resp);
 
   transport::Network& net_;
   multicast::Bus* bus_ = nullptr;  // null in direct mode
@@ -80,6 +92,9 @@ class ClientProxy {
     std::int64_t submitted_us;
   };
   std::unordered_map<Seq, Pending> pending_;
+  /// Completions decoded but not yet handed to the caller (a multi-response
+  /// frame completes several seqs; poll() returns one per call).
+  std::deque<Completion> ready_;
 };
 
 }  // namespace psmr::smr

@@ -6,7 +6,8 @@ namespace psmr::smr {
 
 PsmrReplica::PsmrReplica(transport::Network& net, multicast::Bus& bus,
                          std::unique_ptr<Service> service, std::size_t mpl,
-                         std::string name, std::size_t run_length)
+                         std::string name, std::size_t run_length,
+                         ResponseCoalescerOptions response_opts)
     : net_(net),
       mpl_(mpl),
       run_length_(run_length == 0 ? 1 : run_length),
@@ -23,6 +24,8 @@ PsmrReplica::PsmrReplica(transport::Network& net, multicast::Bus& bus,
   }
   auto [id, box] = net.register_node();
   reply_node_ = id;  // send-only identity for responses
+  coalescer_ =
+      std::make_unique<ResponseCoalescer>(net_, reply_node_, response_opts);
 }
 
 PsmrReplica::~PsmrReplica() { stop(); }
@@ -58,15 +61,19 @@ bool PsmrReplica::admit(const Command& cmd, std::size_t worker) {
     resp.client = cmd.client;
     resp.seq = cmd.seq;
     resp.payload = it->second.response;
-    net_.send(reply_node_, cmd.reply_to, transport::MsgType::kSmrResponse,
-              resp.encode());
+    coalescer_->send(cmd.reply_to, resp);
+    // Replays happen outside an execution run, so no batch boundary is
+    // coming to carry them: flush now, or a quiet stream strands the reply.
+    coalescer_->flush_batch();
   }
   return false;  // stale duplicates are dropped silently
 }
 
-/// Updates the dedup cache and sends each response the moment the service
-/// hands it over.  Responses of one batch may arrive out of batch order
-/// (pipelined read lane), so the cache keeps the max seq per client.
+/// Updates the dedup cache and spools each response into the replica's
+/// reply coalescer the moment the service hands it over; execute_run
+/// flushes at the batch boundary.  Responses of one batch may arrive out of
+/// batch order (pipelined read lane), so the cache keeps the max seq per
+/// client.
 class PsmrReplica::WorkerSink final : public ResponseSink {
  public:
   WorkerSink(PsmrReplica& replica, std::span<const Command> cmds,
@@ -84,8 +91,7 @@ class PsmrReplica::WorkerSink final : public ResponseSink {
     resp.client = cmd.client;
     resp.seq = cmd.seq;
     resp.payload = std::move(payload);
-    replica_.net_.send(replica_.reply_node_, cmd.reply_to,
-                       transport::MsgType::kSmrResponse, resp.encode());
+    replica_.coalescer_->send(cmd.reply_to, resp);
   }
 
  private:
@@ -98,6 +104,9 @@ void PsmrReplica::execute_run(std::vector<Command>& run, std::size_t worker) {
   WorkerSink sink(*this, run, worker);
   CommandBatch batch{std::span<const Command>(run), &sink};
   service_->execute_batch(batch);
+  // The executed run is the natural flush unit: its replies leave as one
+  // frame per destination proxy before the worker blocks on its stream.
+  coalescer_->flush_batch();
   executed_.fetch_add(run.size(), std::memory_order_relaxed);
 }
 

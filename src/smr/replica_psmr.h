@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "multicast/amcast.h"
+#include "smr/response_coalescer.h"
 #include "smr/service.h"
 #include "util/sync.h"
 
@@ -43,10 +44,13 @@ class PsmrReplica {
  public:
   /// `mpl` worker threads; must equal the C-G function's mpl().
   /// `run_length` bounds the execution batches accumulated per worker
-  /// (1 restores one-command-at-a-time execution).
+  /// (1 restores one-command-at-a-time execution).  `response_opts` tunes
+  /// reply coalescing (see response_coalescer.h); the workers share one
+  /// coalescer, so replies from different workers to the same proxy merge.
   PsmrReplica(transport::Network& net, multicast::Bus& bus,
               std::unique_ptr<Service> service, std::size_t mpl,
-              std::string name = "psmr-replica", std::size_t run_length = 16);
+              std::string name = "psmr-replica", std::size_t run_length = 16,
+              ResponseCoalescerOptions response_opts = {});
   ~PsmrReplica();
 
   PsmrReplica(const PsmrReplica&) = delete;
@@ -60,6 +64,13 @@ class PsmrReplica {
 
   /// The replica's service instance (state inspection in tests).
   [[nodiscard]] const Service& service() const { return *service_; }
+
+  /// Reply-path wire counters (messages, responses, flush reasons).
+  [[nodiscard]] ResponseStats response_stats() const {
+    return coalescer_->stats();
+  }
+  /// Test hook: the shared reply coalescer (flush-pause rendezvous).
+  [[nodiscard]] ResponseCoalescer& response_coalescer() { return *coalescer_; }
 
  private:
   class WorkerSink;
@@ -84,6 +95,7 @@ class PsmrReplica {
   std::vector<util::Signal> signals_;  // mpl x mpl matrix
   std::vector<std::thread> workers_;
   transport::NodeId reply_node_ = transport::kNoNode;
+  std::unique_ptr<ResponseCoalescer> coalescer_;
 
   // Per-worker duplicate suppression: last executed seq and its response per
   // client.  Deterministic across replicas because each worker's delivery

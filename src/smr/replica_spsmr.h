@@ -35,6 +35,14 @@ class SpsmrReplica {
 
   [[nodiscard]] std::uint64_t executed() const { return core_.executed(); }
   [[nodiscard]] const Service& service() const { return core_.service(); }
+  /// Reply-path wire counters of the execution core.
+  [[nodiscard]] ResponseStats response_stats() const {
+    return core_.response_stats();
+  }
+  /// Test hook: the core's reply coalescer.
+  [[nodiscard]] ResponseCoalescer& response_coalescer() {
+    return core_.response_coalescer();
+  }
 
  private:
   void delivery_loop();

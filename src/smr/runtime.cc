@@ -13,8 +13,11 @@ Deployment::Deployment(DeploymentConfig cfg) : cfg_(std::move(cfg)) {
   }
   if (cfg_.mode == Mode::kSmr) cfg_.mpl = 1;
   if (cfg_.exec_run_length == 0) cfg_.exec_run_length = 1;
+  ResponseCoalescerOptions response_opts;
+  response_opts.enabled = cfg_.coalesce_responses;
   SchedulerOptions sched_opts;
   sched_opts.run_length = cfg_.exec_run_length;
+  sched_opts.responses = response_opts;
 
   switch (cfg_.mode) {
     case Mode::kSmr:
@@ -30,7 +33,8 @@ Deployment::Deployment(DeploymentConfig cfg) : cfg_(std::move(cfg)) {
         if (cfg_.mode == Mode::kSmr) {
           psmr_.push_back(std::make_unique<PsmrReplica>(
               net_, *bus_, cfg_.service_factory(), 1,
-              "smr-replica" + std::to_string(r), cfg_.exec_run_length));
+              "smr-replica" + std::to_string(r), cfg_.exec_run_length,
+              response_opts));
         } else {
           spsmr_.push_back(std::make_unique<SpsmrReplica>(
               net_, *bus_, cfg_.service_factory(), cfg_.cg_factory(cfg_.mpl),
@@ -49,7 +53,8 @@ Deployment::Deployment(DeploymentConfig cfg) : cfg_(std::move(cfg)) {
       for (std::size_t r = 0; r < cfg_.replicas; ++r) {
         psmr_.push_back(std::make_unique<PsmrReplica>(
             net_, *bus_, cfg_.service_factory(), cfg_.mpl,
-            "psmr-replica" + std::to_string(r), cfg_.exec_run_length));
+            "psmr-replica" + std::to_string(r), cfg_.exec_run_length,
+            response_opts));
       }
       break;
     }
@@ -144,6 +149,19 @@ ExecStats Deployment::exec_stats(std::size_t i) const {
 ExecStats Deployment::exec_stats() const {
   ExecStats total;
   for (std::size_t i = 0; i < num_services(); ++i) total += exec_stats(i);
+  return total;
+}
+
+ResponseStats Deployment::response_stats(std::size_t i) const {
+  if (norep_) return norep_->response_stats();
+  if (lock_) return ResponseStats{};  // handlers reply inline per command
+  if (!psmr_.empty()) return psmr_.at(i)->response_stats();
+  return spsmr_.at(i)->response_stats();
+}
+
+ResponseStats Deployment::response_stats() const {
+  ResponseStats total;
+  for (std::size_t i = 0; i < num_services(); ++i) total += response_stats(i);
   return total;
 }
 

@@ -51,6 +51,12 @@ struct DeploymentConfig {
   /// Submit-side coalescing on the multicast bus (see
   /// BusConfig::coalesce_submits).  Ignored by unreplicated modes.
   bool coalesce_submits = true;
+  /// Response-side coalescing: replica workers spool the replies of an
+  /// execution batch per destination proxy and flush them as one
+  /// kSmrResponseMany frame (see response_coalescer.h).  Off restores one
+  /// wire message per reply.  Ignored by the lock server, whose handlers
+  /// reply inline per command.
+  bool coalesce_responses = true;
   /// Replica-side execution batching: maximum run of consecutive
   /// independent commands handed to the service as one execute_batch call
   /// (see service.h's batch contract).  1 restores one-command-at-a-time
@@ -99,6 +105,13 @@ class Deployment {
   [[nodiscard]] ExecStats exec_stats(std::size_t i) const;
   /// Aggregate exec_stats over every service instance.
   [[nodiscard]] ExecStats exec_stats() const;
+
+  /// Reply-path wire counters of replica i (messages, responses carried,
+  /// flush reasons) — how execution batches reached the clients.  Zeros for
+  /// the lock server, which replies inline per command.
+  [[nodiscard]] ResponseStats response_stats(std::size_t i) const;
+  /// Aggregate response_stats over every replica.
+  [[nodiscard]] ResponseStats response_stats() const;
 
   /// Number of service instances (replicas, or 1 for unreplicated modes).
   [[nodiscard]] std::size_t num_services() const;

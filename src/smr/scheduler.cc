@@ -6,13 +6,13 @@ namespace psmr::smr {
 
 namespace {
 
-/// Sends each response as soon as the service hands it over, so the first
-/// commands of a batch are not held hostage by the last.
+/// Spools each response into the reply coalescer as soon as the service
+/// hands it over; execute_run flushes at the batch boundary, so a batch's
+/// replies to the same proxy leave as one wire frame.
 class ReplySink final : public ResponseSink {
  public:
-  ReplySink(transport::Network& net, transport::NodeId from,
-            std::span<const Command> cmds)
-      : net_(net), from_(from), cmds_(cmds) {}
+  ReplySink(ResponseCoalescer& coalescer, std::span<const Command> cmds)
+      : coalescer_(coalescer), cmds_(cmds) {}
 
   void accept(std::size_t index, util::Buffer payload) override {
     const Command& cmd = cmds_[index];
@@ -20,13 +20,11 @@ class ReplySink final : public ResponseSink {
     resp.client = cmd.client;
     resp.seq = cmd.seq;
     resp.payload = std::move(payload);
-    net_.send(from_, cmd.reply_to, transport::MsgType::kSmrResponse,
-              resp.encode());
+    coalescer_.send(cmd.reply_to, resp);
   }
 
  private:
-  transport::Network& net_;
-  transport::NodeId from_;
+  ResponseCoalescer& coalescer_;
   std::span<const Command> cmds_;
 };
 
@@ -54,6 +52,8 @@ SchedulerCore::SchedulerCore(transport::Network& net,
   }
   auto [id, box] = net.register_node();
   reply_node_ = id;
+  coalescer_ =
+      std::make_unique<ResponseCoalescer>(net_, reply_node_, opts_.responses);
 }
 
 SchedulerCore::~SchedulerCore() { stop(); }
@@ -122,9 +122,12 @@ void SchedulerCore::drain() {
 }
 
 void SchedulerCore::execute_run(std::vector<Command>& run) {
-  ReplySink sink(net_, reply_node_, run);
+  ReplySink sink(*coalescer_, run);
   CommandBatch batch{std::span<const Command>(run), &sink};
   service_->execute_batch(batch);
+  // Batch boundary: the run's replies go on the wire before this worker
+  // reports idle, so drain() never completes with responses still spooled.
+  coalescer_->flush_batch();
   executed_.fetch_add(run.size(), std::memory_order_relaxed);
   {
     std::lock_guard lock(idle_mu_);

@@ -37,6 +37,7 @@ enum MsgType : std::uint16_t {
   // SMR layer: 30..39
   kSmrResponse = 30,    // replica worker -> client proxy
   kSmrDirect = 31,      // client -> unreplicated server (no-rep / lock server)
+  kSmrResponseMany = 32, // replica -> client proxy: coalesced responses
 };
 
 /// Envelope delivered to a Node's mailbox.

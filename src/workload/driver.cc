@@ -2,7 +2,9 @@
 
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <thread>
 #include <vector>
 
@@ -56,17 +58,53 @@ void client_loop(smr::Deployment& deployment, const KvWorkloadSpec& spec,
     }
   };
 
-  while (!stop.load(std::memory_order_relaxed)) {
-    while (proxy->outstanding() < static_cast<std::size_t>(spec.window) &&
-           !stop.load(std::memory_order_relaxed)) {
-      submit_one();
-    }
-    auto done = proxy->poll(std::chrono::milliseconds(100));
-    if (!done) continue;
+  auto record = [&](const smr::ClientProxy::Completion& done) {
     std::int64_t from = measure_from_us.load(std::memory_order_relaxed);
     if (from != 0 && util::now_us() >= from) {
-      latency.record(static_cast<double>(done->latency_us));
+      latency.record(static_cast<double>(done.latency_us));
       ++completed_in_window;
+    }
+  };
+
+  if (spec.target_rate_cps > 0) {
+    // Open loop: arrivals follow their own schedule (Poisson or fixed
+    // interval), decoupled from completions, so queueing delay shows up as
+    // latency instead of throttling the offered rate.
+    const double rate_cps =
+        spec.target_rate_cps / static_cast<double>(spec.clients);
+    const double mean_gap_us = 1e6 / rate_cps;
+    auto next_gap_us = [&]() -> double {
+      if (!spec.poisson_arrivals) return mean_gap_us;
+      // Exponential inter-arrival times; clamp u away from 0 for finite gaps.
+      double u = rng.next_double();
+      return -mean_gap_us * std::log(u < 1e-12 ? 1e-12 : u);
+    };
+    double next_due_us = static_cast<double>(util::now_us()) + next_gap_us();
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::int64_t now = util::now_us();
+      while (static_cast<double>(now) >= next_due_us &&
+             !stop.load(std::memory_order_relaxed)) {
+        if (proxy->outstanding() <
+            static_cast<std::size_t>(spec.max_outstanding)) {
+          submit_one();
+        }  // else: shed this arrival (safety valve, see KvWorkloadSpec)
+        next_due_us += next_gap_us();
+        now = util::now_us();
+      }
+      auto wait_us = static_cast<std::int64_t>(next_due_us) - now;
+      auto done = proxy->poll(std::chrono::microseconds(
+          std::clamp<std::int64_t>(wait_us, 50, 100'000)));
+      if (done) record(*done);
+    }
+  } else {
+    // Closed loop (the paper's methodology): keep `window` outstanding.
+    while (!stop.load(std::memory_order_relaxed)) {
+      while (proxy->outstanding() < static_cast<std::size_t>(spec.window) &&
+             !stop.load(std::memory_order_relaxed)) {
+        submit_one();
+      }
+      auto done = proxy->poll(std::chrono::milliseconds(100));
+      if (done) record(*done);
     }
   }
   // Best-effort drain so replicas quiesce before state-digest checks.
@@ -98,11 +136,13 @@ RunResult run_kv_workload(smr::Deployment& deployment,
   std::int64_t t0 = util::now_us();
   std::int64_t cpu0 = process_cpu_us();
   smr::ExecStats exec0 = deployment.exec_stats();
+  smr::ResponseStats resp0 = deployment.response_stats();
   measure_from_us.store(t0);
   std::this_thread::sleep_for(std::chrono::duration<double>(spec.duration_s));
   std::int64_t t1 = util::now_us();
   std::int64_t cpu1 = process_cpu_us();
   smr::ExecStats exec1 = deployment.exec_stats();
+  smr::ResponseStats resp1 = deployment.response_stats();
   stop.store(true);
   for (auto& t : threads) t.join();
 
@@ -114,10 +154,13 @@ RunResult run_kv_workload(smr::Deployment& deployment,
   double elapsed_s = static_cast<double>(t1 - t0) / 1e6;
   res.kcps = static_cast<double>(res.completed) / elapsed_s / 1e3;
   res.avg_latency_us = res.latency.mean();
+  res.p50_latency_us = res.latency.quantile(0.50);
+  res.p95_latency_us = res.latency.quantile(0.95);
   res.p99_latency_us = res.latency.quantile(0.99);
   res.cpu_pct = 100.0 * static_cast<double>(cpu1 - cpu0) /
                 static_cast<double>(t1 - t0);
   res.exec = exec1 - exec0;
+  res.response = resp1 - resp0;
   return res;
 }
 

@@ -1,10 +1,15 @@
-// Closed-loop workload driver for the *real* runtime.
+// Workload driver for the *real* runtime.
 //
-// Mirrors the paper's measurement methodology (Section VI-B): each client
-// keeps a window of up to 50 outstanding commands, keys are selected
-// uniformly or with a Zipf(1) distribution over the key space, and we
-// report throughput (Kcps), average latency, latency histogram and process
-// CPU usage.
+// Closed-loop mode mirrors the paper's measurement methodology
+// (Section VI-B): each client keeps a window of up to 50 outstanding
+// commands, keys are selected uniformly or with a Zipf(1) distribution over
+// the key space, and we report throughput (Kcps), average/percentile
+// latency, latency histogram and process CPU usage.
+//
+// Open-loop mode (KvWorkloadSpec::target_rate_cps > 0) decouples arrivals
+// from completions — Poisson or fixed-interval — so latency-under-load
+// curves are measurable: offered rate is held constant and queueing delay
+// appears as latency rather than throttling the load.
 //
 // Note: on this host the entire system (clients, Paxos, replicas) shares
 // very few cores, so real-mode numbers measure protocol overhead rather
@@ -38,11 +43,31 @@ struct KvWorkloadSpec {
   bool zipf = false;
   double zipf_s = 1.0;
   std::uint64_t seed = 42;
+
+  /// Open-loop mode: aggregate target arrival rate in commands/sec across
+  /// all clients (each client drives target_rate_cps / clients).  0 keeps
+  /// the paper's closed loop, where `window` outstanding commands gate
+  /// submission.  Open-loop arrivals are submitted on their schedule
+  /// whether or not earlier commands completed, which is what makes
+  /// latency-under-load curves measurable (latency grows with offered
+  /// rate instead of throttling it).
+  double target_rate_cps = 0;
+  /// Open-loop arrival process: exponential inter-arrival gaps (a Poisson
+  /// process) when true, a fixed interval of 1/rate when false.
+  bool poisson_arrivals = true;
+  /// Open-loop safety valve: per-client cap on outstanding commands, so an
+  /// offered rate far above capacity degrades into a closed loop at this
+  /// window instead of growing proxy state without bound.  Arrivals due
+  /// while the cap binds are dropped from the schedule (the driver skips
+  /// them rather than bursting to catch up).
+  int max_outstanding = 10'000;
 };
 
 struct RunResult {
   double kcps = 0;
   double avg_latency_us = 0;
+  double p50_latency_us = 0;
+  double p95_latency_us = 0;
   double p99_latency_us = 0;
   util::Histogram latency;
   double cpu_pct = 0;  // process CPU time / wall time * 100
@@ -52,6 +77,10 @@ struct RunResult {
   /// load actually reached the service — batches executed, commands per
   /// batch, share of commands resolved through a pipelined read lane.
   smr::ExecStats exec;
+  /// Reply-path wire counters over the measured interval, aggregated across
+  /// all replicas (see smr::ResponseStats): how those executions reached
+  /// the clients — wire messages, responses per message, flush reasons.
+  smr::ResponseStats response;
 };
 
 /// Drives the deployment with closed-loop clients and measures it.

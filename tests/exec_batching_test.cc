@@ -305,49 +305,8 @@ TEST(SchedulerDedup, ZeroWindowDisablesEviction) {
 }
 
 // --- End-to-end convergence: batched on vs off ----------------------------
-
-// Drives a deterministic workload whose final state is independent of
-// cross-client interleaving: client t updates only keys in its own range
-// (update order per key is its submission order, preserved per client) and
-// reads across the whole space, pipelined deep enough that worker queues
-// and delivery streams actually back up into multi-command runs.
-std::uint64_t run_disjoint_workload(Deployment& d, int clients, int ops) {
-  test_support::run_threads(clients, [&](int t) {
-    auto proxy = d.make_client();
-    constexpr int kWindow = 32;
-    int submitted = 0;
-    int completed = 0;
-    auto submit_one = [&](int i) {
-      std::uint64_t own = static_cast<std::uint64_t>(t) * 100 +
-                          static_cast<std::uint64_t>(i % 100);
-      if (i % 4 == 3) {
-        proxy->submit(kvstore::kKvUpdate,
-                      kvstore::encode_key_value(
-                          own, static_cast<std::uint64_t>(i) * 1000 +
-                                   static_cast<std::uint64_t>(t)));
-      } else {
-        std::uint64_t any = static_cast<std::uint64_t>((i * 37 + t * 11) %
-                                                       (clients * 100));
-        proxy->submit(kvstore::kKvRead, kvstore::encode_key(any));
-      }
-    };
-    while (completed < ops) {
-      while (submitted < ops && proxy->outstanding() < kWindow) {
-        submit_one(submitted++);
-      }
-      if (proxy->poll(std::chrono::milliseconds(200))) ++completed;
-    }
-  });
-  // Every client saw every response, but only from the fastest replica;
-  // wait for the laggard before comparing digests.
-  test_support::wait_executed(
-      d, static_cast<std::uint64_t>(clients) * static_cast<std::uint64_t>(ops));
-  std::uint64_t digest = d.state_digest(0);
-  for (std::size_t i = 1; i < d.num_services(); ++i) {
-    EXPECT_EQ(d.state_digest(i), digest) << "replica " << i << " diverged";
-  }
-  return digest;
-}
+// (The disjoint convergence workload lives in test_support and is shared
+// with the response-batching suite.)
 
 class ExecConvergence : public ::testing::TestWithParam<Mode> {};
 
@@ -361,8 +320,8 @@ TEST_P(ExecConvergence, BatchedAndSequentialExecutionConverge) {
     auto cfg = test_support::kv_config(mode, /*mpl=*/2, keys);
     cfg.exec_run_length = run_length;
     test_support::Cluster cluster(std::move(cfg));
-    std::uint64_t digest = run_disjoint_workload(cluster.deployment(),
-                                                 kClients, kOps);
+    std::uint64_t digest = test_support::run_disjoint_kv_workload(
+        cluster.deployment(), kClients, kOps);
     *stats = cluster->exec_stats();
     return digest;
   };

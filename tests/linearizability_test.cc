@@ -36,17 +36,21 @@ struct ReadRecord {
   std::uint64_t value;
 };
 
-// (mpl, batching profile, execution run length): "default" is the tuned
-// test ring; the aggressive profiles re-run the same history check under
-// multicast-batching extremes (near-zero timeout / cap-driven sealing),
-// which is where a batcher bug would first corrupt ordering.  run_length
-// forces replica-side execution batching fully on (8) or off (1) — a batch
-// accumulator that ever groups a dependent read/update pair shows up here
-// as a stale or futuristic read.
+// (mpl, batching profile, execution run length, reply coalescing):
+// "default" is the tuned test ring; the aggressive profiles re-run the same
+// history check under multicast-batching extremes (near-zero timeout /
+// cap-driven sealing), which is where a batcher bug would first corrupt
+// ordering.  run_length forces replica-side execution batching fully on (8)
+// or off (1) — a batch accumulator that ever groups a dependent read/update
+// pair shows up here as a stale or futuristic read.  coalesce_responses
+// re-runs the check with reply batching forced off (it defaults on): a
+// demux or flush bug shows up as a lost, duplicated or reordered-per-seq
+// completion.
 struct LinParam {
   int mpl;
   const char* profile;
   std::size_t run_length = 16;
+  bool coalesce_responses = true;
 };
 
 paxos::RingConfig ring_for(const char* profile) {
@@ -68,6 +72,7 @@ TEST_P(PsmrLinearizability, SequentialWriterConcurrentReaders) {
       Mode::kPsmr, static_cast<std::size_t>(mpl),
       ring_for(GetParam().profile), /*initial_keys=*/16);
   cfg.exec_run_length = GetParam().run_length;
+  cfg.coalesce_responses = GetParam().coalesce_responses;
   test_support::Cluster cluster(std::move(cfg));
   Deployment& d = cluster.deployment();
 
@@ -148,11 +153,19 @@ INSTANTIATE_TEST_SUITE_P(
                       LinParam{8, "default"}, LinParam{4, "tiny-timeout"},
                       LinParam{4, "tiny-cap"},
                       LinParam{4, "default", /*run_length=*/8},
-                      LinParam{4, "default", /*run_length=*/1}),
+                      LinParam{4, "default", /*run_length=*/1},
+                      // One coalescing-off pass on the tuned ring; the
+                      // response_batching_test convergence suite covers
+                      // on/off on both replica modes, and every PSMR pass
+                      // added here multiplies exposure to the pre-existing
+                      // merge skip-cadence stall on loaded hosts.
+                      LinParam{4, "default", /*run_length=*/16,
+                               /*coalesce_responses=*/false}),
     [](const auto& info) {
       std::string name =
           "mpl" + std::to_string(info.param.mpl) + "_" + info.param.profile +
           "_rl" + std::to_string(info.param.run_length);
+      if (!info.param.coalesce_responses) name += "_nocoalesce";
       for (auto& c : name) {
         if (c == '-') c = '_';
       }

@@ -121,14 +121,33 @@ TEST(Calibration, ExecPipelineRatioMeetsPr4TargetAndStaysPhysical) {
   // Acceptance: the batch-aware execution API must carry >= 1.3x of the
   // tree-level batching win through the whole replica pipeline.
   EXPECT_GE(ec.batched_ratio(), 1.3);
-  // ...but it cannot exceed what the tree itself gained: the pipeline adds
-  // per-command work (queues, marshaling, replies) that batching does not
-  // remove, so the end-to-end ratio is bounded by the find-path ratio.
-  EXPECT_LE(ec.batched_ratio(), bt.find_10m_ns / bt.find_batch_10m_ns + 0.1);
+  // The ratio is bounded by the two per-command costs batching removes: the
+  // tree's dependent miss chains (find-path ratio) and, since the PR 5
+  // response refactor, the per-reply wire send (a 16-command run leaves as
+  // one frame).  The run-length bound caps the latter at run_length, but a
+  // loose physical ceiling is the product of both effects.
+  EXPECT_LE(ec.batched_ratio(),
+            (bt.find_10m_ns / bt.find_batch_10m_ns) * 2.0);
   // The sequential pipeline cannot be faster than the bare tree descent
   // alone would allow (sanity on the Kcps scale of the record).
   EXPECT_LT(ec.pipeline_seq_kcps, 1e3 / (bt.find_10m_ns / 1e3));
   EXPECT_GT(ec.mean_commands_per_batch, 8.0);
+}
+
+TEST(Calibration, ResponseCoalescingRecordMeetsPr5Targets) {
+  ResponseCalibration rc;
+  // Acceptance: at client window >= 16 the coalesced config must put at
+  // least 4 responses on the wire per message, and coalescing must never
+  // cost deployment throughput.
+  EXPECT_GE(rc.responses_per_message, 4.0);
+  // ...but a frame can never carry more than the coalescer's per-bucket
+  // response cap (ResponseCoalescerOptions::max_responses default).
+  EXPECT_LE(rc.responses_per_message, 64.0);
+  EXPECT_GE(rc.coalesced_ratio(), 1.0);
+  // On the one-core reference host ordering dominates the deployment, so
+  // the send-cost win stays modest; a larger ratio here means the record
+  // was measured wrong (or the host changed — re-pin it).
+  EXPECT_LE(rc.coalesced_ratio(), 1.5);
 }
 
 TEST(Calibration, ScaledExecOrderingIsConsistent) {

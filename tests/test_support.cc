@@ -126,4 +126,43 @@ void run_threads(int n, const std::function<void(int)>& fn) {
   for (auto& t : threads) t.join();
 }
 
+std::uint64_t run_disjoint_kv_workload(smr::Deployment& d, int clients,
+                                       int ops) {
+  run_threads(clients, [&](int t) {
+    auto proxy = d.make_client();
+    constexpr int kWindow = 32;
+    int submitted = 0;
+    int completed = 0;
+    auto submit_one = [&](int i) {
+      std::uint64_t own = static_cast<std::uint64_t>(t) * 100 +
+                          static_cast<std::uint64_t>(i % 100);
+      if (i % 4 == 3) {
+        proxy->submit(kvstore::kKvUpdate,
+                      kvstore::encode_key_value(
+                          own, static_cast<std::uint64_t>(i) * 1000 +
+                                   static_cast<std::uint64_t>(t)));
+      } else {
+        std::uint64_t any = static_cast<std::uint64_t>((i * 37 + t * 11) %
+                                                       (clients * 100));
+        proxy->submit(kvstore::kKvRead, kvstore::encode_key(any));
+      }
+    };
+    while (completed < ops) {
+      while (submitted < ops && proxy->outstanding() < kWindow) {
+        submit_one(submitted++);
+      }
+      if (proxy->poll(std::chrono::milliseconds(200))) ++completed;
+    }
+  });
+  // Every client saw every response, but only from the fastest replica;
+  // wait for the laggard before comparing digests.
+  wait_executed(d, static_cast<std::uint64_t>(clients) *
+                       static_cast<std::uint64_t>(ops));
+  std::uint64_t digest = d.state_digest(0);
+  for (std::size_t i = 1; i < d.num_services(); ++i) {
+    EXPECT_EQ(d.state_digest(i), digest) << "replica " << i << " diverged";
+  }
+  return digest;
+}
+
 }  // namespace psmr::test_support

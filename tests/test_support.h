@@ -129,4 +129,16 @@ using Barrier = std::barrier<>;
 /// a GoogleTest fatal-failure exception on some thread.
 void run_threads(int n, const std::function<void(int)>& fn);
 
+/// Drives a KV deployment with a deterministic convergence workload whose
+/// final state is independent of cross-client interleaving: client t
+/// updates only keys in its own 100-key range (per-key update order is its
+/// submission order, preserved per client) and reads across the whole
+/// space, pipelined 32-deep so worker queues and delivery streams back up
+/// into multi-command runs.  Waits for every replica to execute all
+/// clients*ops commands, EXPECTs equal digests across replicas, and
+/// returns replica 0's digest.  The deployment needs clients*100 preloaded
+/// keys.  Used by the batching convergence suites (exec + response).
+std::uint64_t run_disjoint_kv_workload(smr::Deployment& d, int clients,
+                                       int ops);
+
 }  // namespace psmr::test_support

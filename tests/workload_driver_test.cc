@@ -32,8 +32,15 @@ TEST(WorkloadDriver, ClosedLoopCompletesAndAccounts) {
   EXPECT_GT(res.kcps, 0.0);
   EXPECT_GT(res.avg_latency_us, 0.0);
   EXPECT_GE(res.p99_latency_us, res.avg_latency_us);
+  // Percentiles populate and are ordered.
+  EXPECT_GT(res.p50_latency_us, 0.0);
+  EXPECT_LE(res.p50_latency_us, res.p95_latency_us);
+  EXPECT_LE(res.p95_latency_us, res.p99_latency_us);
   // The histogram holds exactly the completions counted in the window.
   EXPECT_EQ(res.latency.count(), res.completed);
+  // Reply-path counters observed the measured interval's responses.
+  EXPECT_GT(res.response.wire_messages, 0u);
+  EXPECT_GE(res.response.responses, res.response.wire_messages);
   // Every measured completion was really executed by the replicas.
   for (std::size_t i = 0; i < cluster->num_services(); ++i) {
     EXPECT_GE(cluster->executed(i), res.completed);
@@ -115,6 +122,59 @@ TEST(WorkloadDriver, ShutdownDrainsAndDeploymentIsReusable) {
   EXPECT_GT(first.completed, 0u);
   EXPECT_GT(second.completed, 0u);
   cluster->stop();  // explicit early stop; the fixture's stop is idempotent
+}
+
+TEST(WorkloadDriver, OpenLoopFixedRateTracksTarget) {
+  // Open loop at a rate well under capacity: measured throughput must track
+  // the offered rate (the whole point — load is held constant instead of
+  // adapting to latency), not the system's saturation point.
+  test_support::KvCluster cluster(smr::Mode::kPsmr, 2, /*initial_keys=*/256);
+  auto spec = quick_spec(256);
+  spec.target_rate_cps = 2000;
+  spec.poisson_arrivals = false;
+  spec.warmup_s = 0.1;
+  spec.duration_s = 0.5;
+  auto res = run_kv_workload(cluster.deployment(), spec);
+  ASSERT_GT(res.completed, 0u);
+  double attained_cps = res.kcps * 1e3;
+  // Completions cannot outpace the arrival schedule...
+  EXPECT_LE(attained_cps, spec.target_rate_cps * 1.3);
+  // ...and with ample headroom they must keep up with it (generous slack
+  // for loaded CI hosts).
+  EXPECT_GE(attained_cps, spec.target_rate_cps * 0.5);
+}
+
+TEST(WorkloadDriver, OpenLoopPoissonRunsAndConverges) {
+  test_support::KvCluster cluster(smr::Mode::kPsmr, 2, /*initial_keys=*/128);
+  auto spec = quick_spec(128);
+  spec.target_rate_cps = 1500;
+  spec.poisson_arrivals = true;
+  spec.mix.read_pct = 70;
+  spec.mix.update_pct = 30;
+  auto res = run_kv_workload(cluster.deployment(), spec);
+  EXPECT_GT(res.completed, 0u);
+  auto executed0 = cluster->executed(0);
+  test_support::wait_executed(cluster.deployment(), executed0);
+  EXPECT_EQ(cluster->state_digest(0), cluster->state_digest(1));
+}
+
+TEST(WorkloadDriver, OpenLoopOverloadShedsAtOutstandingCap) {
+  // An offered rate far beyond capacity must degrade into a bounded-queue
+  // closed loop (shedding arrivals at max_outstanding), not grow proxy
+  // state without bound or hang the driver.
+  test_support::KvCluster cluster(smr::Mode::kPsmr, 2, /*initial_keys=*/64);
+  auto spec = quick_spec(64);
+  spec.target_rate_cps = 5e6;  // absurd for this host
+  spec.poisson_arrivals = false;
+  spec.max_outstanding = 64;
+  spec.duration_s = 0.2;
+  auto res = run_kv_workload(cluster.deployment(), spec);
+  EXPECT_GT(res.completed, 0u);
+  // Little's law at the cap: throughput is bounded by cap / latency.
+  double outstanding_bound =
+      static_cast<double>(spec.clients * spec.max_outstanding);
+  double little = res.kcps * 1e3 * (res.avg_latency_us / 1e6);
+  EXPECT_LE(little, outstanding_bound * 1.25);
 }
 
 TEST(WorkloadDriver, ProcessCpuCounterIsMonotonic) {
