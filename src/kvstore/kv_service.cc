@@ -302,4 +302,32 @@ std::shared_ptr<const smr::CGFunction> kv_coarse_cg(std::size_t k) {
       k, std::unordered_set<smr::CommandId>{kKvRead});
 }
 
+std::shared_ptr<const smr::CGFunction> kv_sharded_cg(
+    const multicast::ShardMap& map) {
+  // Soundness vs kv_cdep(): insert/delete stay global, covering their
+  // ALWAYS edges; read/update SAME-KEY pairs share the key's shard; and the
+  // multi-key reads' ALWAYS(·, update) edges are covered per instance — any
+  // update whose key a scan or multi-read actually touches maps (through
+  // the same ShardMap) to a shard the read covers.
+  smr::RangeFn scan_range = [](const smr::Command& cmd)
+      -> std::optional<std::pair<std::uint64_t, std::uint64_t>> {
+    if (cmd.cmd != kKvScan) return std::nullopt;
+    util::Reader r(cmd.params);
+    std::uint64_t lo = r.u64();
+    return std::make_pair(lo, r.u64());
+  };
+  smr::KeyListFn multiread_keys = [](const smr::Command& cmd)
+      -> std::optional<std::vector<std::uint64_t>> {
+    if (cmd.cmd != kKvMultiRead) return std::nullopt;
+    util::Reader r(cmd.params);
+    std::vector<std::uint64_t> keys(r.u32());
+    for (auto& k : keys) k = r.u64();
+    return keys;
+  };
+  return std::make_shared<smr::ShardedCg>(
+      map, kv_key_fn(),
+      std::unordered_set<smr::CommandId>{kKvInsert, kKvDelete},
+      std::move(scan_range), std::move(multiread_keys));
+}
+
 }  // namespace psmr::kvstore

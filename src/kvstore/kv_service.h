@@ -24,6 +24,7 @@
 #include "smr/cdep.h"
 #include "smr/cg.h"
 #include "smr/service.h"
+#include "smr/shard_cg.h"
 
 namespace psmr::kvstore {
 
@@ -146,5 +147,13 @@ std::shared_ptr<const smr::CGFunction> kv_keyed_cg(std::size_t k);
 /// Coarse C-G (paper's first example): read → one pseudo-random group;
 /// everything else → all groups.
 std::shared_ptr<const smr::CGFunction> kv_coarse_cg(std::size_t k);
+
+/// Shard-aware C-G over an explicit key→group map (see smr/shard_cg.h):
+/// read/update → the key's shard; scan → the shards its range intersects;
+/// multi-read → the union of its keys' shards; insert/delete → all groups
+/// (tree restructuring).  Refines kv_keyed_cg's conservative treatment of
+/// the multi-key reads, which from_cdep can only send to every group.
+std::shared_ptr<const smr::CGFunction> kv_sharded_cg(
+    const multicast::ShardMap& map);
 
 }  // namespace psmr::kvstore

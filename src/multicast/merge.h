@@ -41,19 +41,40 @@ class MergeDeliverer {
     return pump([&] { return logs_[cursor_]->next(); });
   }
 
-  /// Non-blocking variant of next(): std::nullopt when the next in-order
-  /// message has not been decided yet (or after shutdown).  Consumes the
-  /// identical merged sequence as next() — the rotation cursor only
-  /// advances when a decision is actually taken — so callers may freely
-  /// interleave the two (the replica batch accumulators poll with
-  /// try_next() and fall back to next() when the stream runs dry).
-  std::optional<Delivery> try_next() {
-    return pump([&] { return logs_[cursor_]->try_next(); });
+  /// Outcome of a non-blocking poll: kDelivered filled `out`; kDry means
+  /// the next in-order message has not been decided yet (worth retrying or
+  /// falling back to a blocking next()); kClosed is terminal — the stream
+  /// shut down and no further poll or next() will ever deliver.
+  enum class Poll { kDelivered, kDry, kClosed };
+
+  /// Non-blocking variant of next().  Consumes the identical merged
+  /// sequence as next() — the rotation cursor only advances when a decision
+  /// is actually taken — so callers may freely interleave the two (the
+  /// replica batch accumulators poll and fall back to next() only while the
+  /// stream is merely dry).  Unlike a bare optional, the result separates
+  /// "dry" from "closed": a caller that blocked on next() after a kClosed
+  /// poll would be waiting on a stream that can never produce again.
+  Poll try_next(Delivery& out) {
+    if (auto d = pump([&] { return logs_[cursor_]->try_next(); })) {
+      out = std::move(*d);
+      return Poll::kDelivered;
+    }
+    return closed() ? Poll::kClosed : Poll::kDry;
   }
 
   /// Unblocks any pending next() and makes future calls return nullopt.
   void close() {
     for (auto& log : logs_) log->close();
+  }
+
+  /// True once any underlying log closed: the rotation can never advance
+  /// past a closed log, so the merged stream as a whole is shut down.
+  /// (close() closes every log; a kClosed poll is always terminal.)
+  [[nodiscard]] bool closed() const {
+    for (const auto& log : logs_) {
+      if (log->closed()) return true;
+    }
+    return false;
   }
 
   [[nodiscard]] std::size_t num_streams() const { return logs_.size(); }

@@ -1,0 +1,108 @@
+// Key→shard mapping across many multicast rings.
+//
+// A sharded P-SMR deployment runs one worker group (and therefore one Paxos
+// ring) per shard: commands on a key are multicast to the shard's group, so
+// the per-shard streams stay independent and throughput scales with the
+// number of rings.  The ShardMap is the single source of truth for that
+// assignment — client proxies (via the shard-aware C-G function, see
+// smr/shard_cg.h) and test oracles must agree on it exactly, or dependent
+// commands stop sharing a group and linearizability breaks silently.
+//
+// Two policies:
+//   * kHash  — shard = mix64(key) mod n.  Spreads any key distribution
+//     evenly, but destroys locality: a key *range* may touch every shard.
+//   * kRange — contiguous key spans of ceil(keyspace / n) keys per shard.
+//     Range commands cover only the shards their span intersects, which is
+//     what lets a scan synchronize with a subset of workers instead of all
+//     of them.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <utility>
+
+#include "multicast/group.h"
+#include "util/hash.h"
+
+namespace psmr::multicast {
+
+enum class ShardPolicy { kHash, kRange };
+
+[[nodiscard]] constexpr const char* shard_policy_name(ShardPolicy p) {
+  return p == ShardPolicy::kHash ? "hash" : "range";
+}
+
+/// Deterministic key→shard assignment.  Shards are worker-group indices
+/// (0..n-1), so n is bounded by the GroupSet mask width.
+class ShardMap {
+ public:
+  /// `keyspace` bounds the range policy's partition: keys in [0, keyspace)
+  /// split into n contiguous spans; keys at or beyond keyspace clamp to the
+  /// last shard (they still map *somewhere*, deterministically).  The hash
+  /// policy ignores it.
+  ShardMap(ShardPolicy policy, std::size_t num_shards, std::uint64_t keyspace)
+      : policy_(policy), num_shards_(num_shards), keyspace_(keyspace) {
+    assert(num_shards_ >= 1 && num_shards_ < 64);
+    assert(keyspace_ >= num_shards_);
+    span_ = (keyspace_ + num_shards_ - 1) / num_shards_;
+  }
+
+  [[nodiscard]] ShardPolicy policy() const { return policy_; }
+  [[nodiscard]] std::size_t num_shards() const { return num_shards_; }
+  [[nodiscard]] std::uint64_t keyspace() const { return keyspace_; }
+
+  /// The shard (= worker group) owning `key`.
+  [[nodiscard]] GroupId group_of(std::uint64_t key) const {
+    if (policy_ == ShardPolicy::kHash) {
+      return static_cast<GroupId>(util::mix64(key) % num_shards_);
+    }
+    std::uint64_t shard = key / span_;
+    if (shard >= num_shards_) shard = num_shards_ - 1;
+    return static_cast<GroupId>(shard);
+  }
+
+  /// Inclusive key span [lo, hi] owned by `shard` under the range policy.
+  /// (Meaningless for hash sharding; asserts.)
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> range_of(
+      GroupId shard) const {
+    assert(policy_ == ShardPolicy::kRange);
+    assert(shard < num_shards_);
+    std::uint64_t lo = shard * span_;
+    std::uint64_t hi = shard + 1 == num_shards_
+                           ? ~std::uint64_t{0}  // last shard absorbs the tail
+                           : (shard + 1) * span_ - 1;
+    return {lo, hi};
+  }
+
+  /// Shards a range command [lo, hi] (inclusive) must reach: exactly the
+  /// shards whose spans it intersects under the range policy, every shard
+  /// under hash (a hashed range may contain keys of any shard).  Empty when
+  /// lo > hi — the caller owns picking a destination for a vacuous range.
+  [[nodiscard]] GroupSet groups_for_range(std::uint64_t lo,
+                                          std::uint64_t hi) const {
+    if (lo > hi) return {};
+    if (policy_ == ShardPolicy::kHash) return GroupSet::all(num_shards_);
+    GroupId first = group_of(lo);
+    GroupId last = group_of(hi);  // <= 62 since num_shards_ < 64
+    std::uint64_t mask = ((std::uint64_t{1} << (last + 1)) - 1) &
+                         ~((std::uint64_t{1} << first) - 1);
+    return GroupSet::from_mask(mask);
+  }
+
+  /// Union of the owning shards of a key list (multi-get destinations).
+  [[nodiscard]] GroupSet groups_for_keys(
+      std::span<const std::uint64_t> keys) const {
+    GroupSet out;
+    for (std::uint64_t k : keys) out = out | GroupSet::single(group_of(k));
+    return out;
+  }
+
+ private:
+  ShardPolicy policy_;
+  std::size_t num_shards_;
+  std::uint64_t keyspace_;
+  std::uint64_t span_ = 1;  // keys per shard (range policy)
+};
+
+}  // namespace psmr::multicast

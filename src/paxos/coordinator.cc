@@ -47,7 +47,7 @@ Coordinator::Coordinator(transport::Network& net, RingId ring, RingConfig cfg,
       ballot_(make_ballot(start_round, proposer_index)),
       batch_timeout_(initial_batch_timeout(cfg_)) {
   stats_.batch_timeout_us = static_cast<std::uint64_t>(batch_timeout_.count());
-  last_activity_ = chrono::steady_clock::now();
+  skip_due_ = chrono::steady_clock::now() + cfg_.skip_interval;
   begin_prepare();
 }
 
@@ -119,6 +119,9 @@ void Coordinator::on_submit_many(util::Reader& r) {
 
 void Coordinator::enqueue(util::Buffer cmd) {
   if (pending_.empty()) batch_started_ = chrono::steady_clock::now();
+  // Real traffic is about to decide and advance the merge rotation on its
+  // own; push the skip deadline out one full interval.
+  skip_due_ = chrono::steady_clock::now() + cfg_.skip_interval;
   pending_bytes_ += cmd.size();
   pending_.push_back(std::move(cmd));
   if (pending_bytes_ >= cfg_.max_batch_bytes) {
@@ -195,7 +198,6 @@ void Coordinator::propose(Instance inst, util::Buffer value) {
   if (!inserted) return;
   it->second.value = std::move(value);
   send_accepts(inst);
-  last_activity_ = chrono::steady_clock::now();
 }
 
 void Coordinator::send_accepts(Instance inst) {
@@ -264,6 +266,9 @@ void Coordinator::on_promise(transport::NodeId from, util::Reader& r) {
     next_instance_ = max_seen + 1;
   }
   promised_values_.clear();
+  // A coordinator entering steady state (initial election or failover)
+  // owes no skips for the time it spent in Phase 1.
+  skip_due_ = chrono::steady_clock::now() + cfg_.skip_interval;
   pump_proposals();
   PSMR_DEBUG("ring " << ring_ << ": steady at ballot " << ballot_
                      << ", next instance " << next_instance_);
@@ -296,6 +301,15 @@ void Coordinator::decide(Instance inst) {
     send(a, MsgType::kPaxosDecide, payload);
   }
   if (auto batch = Batch::decode(it->second.value)) {
+    // A decided command batch advances the merge rotation by itself, so the
+    // next skip is owed one interval from now.  A decided *skip* must NOT
+    // touch the schedule: refreshing it here is exactly the old stall — the
+    // cadence degraded to one skip per (interval + decide round-trip), and
+    // under CPU contention the round-trip stretched until merge-based
+    // delivery crawled behind client retransmission timeouts.
+    if (!batch->skip) {
+      skip_due_ = chrono::steady_clock::now() + cfg_.skip_interval;
+    }
     std::lock_guard lock(stats_mu_);
     ++stats_.decided_batches;
     if (batch->skip) {
@@ -305,7 +319,6 @@ void Coordinator::decide(Instance inst) {
     }
   }
   in_flight_.erase(it);
-  last_activity_ = chrono::steady_clock::now();
   pump_proposals();
 }
 
@@ -321,6 +334,10 @@ void Coordinator::on_nack(util::Reader& r) {
 
 void Coordinator::on_tick() {
   auto now = chrono::steady_clock::now();
+  if (now.time_since_epoch().count() <
+      stall_until_ns_.load(std::memory_order_relaxed)) {
+    return;  // test hook: simulated tick starvation
+  }
 
   if (phase_ == Phase::kPreparing) {
     if (now - prepare_sent_ > cfg_.rto) begin_prepare();
@@ -338,13 +355,27 @@ void Coordinator::on_tick() {
     if (now - fl.last_send > cfg_.rto) send_accepts(inst);
   }
 
-  // Idle ring: emit a SKIP so merge-based delivery keeps advancing.
-  if (cfg_.skip_interval.count() > 0 && in_flight_.empty() &&
-      sealed_.empty() && pending_.empty() &&
-      now - last_activity_ >= cfg_.skip_interval) {
+  // Idle ring: emit SKIPs so merge-based delivery keeps advancing.  The
+  // schedule is absolute — one skip owed per elapsed skip_interval — and
+  // emission does not wait for earlier skips to decide, so the cadence is
+  // bounded by wall time, not by the Paxos round-trip.  If this tick ran
+  // late (starved thread, loaded host) the loop repays every missed
+  // interval at once, pipelined up to the Phase 2 window; the merge
+  // rotation deficit clears in one round-trip instead of one interval per
+  // missed skip.
+  if (cfg_.skip_interval.count() > 0 && sealed_.empty() && pending_.empty()) {
+    // Cap the repayable backlog at one pipeline window: an idle ring that
+    // was stalled for minutes owes the merge at most "enough skips that no
+    // consumer is waiting", not one per elapsed interval forever.
+    const auto max_backlog =
+        cfg_.skip_interval * static_cast<int>(cfg_.pipeline_window);
+    if (skip_due_ < now - max_backlog) skip_due_ = now - max_backlog;
     Batch skip;
     skip.skip = true;
-    propose(next_instance_++, skip.encode());
+    while (now >= skip_due_ && in_flight_.size() < cfg_.pipeline_window) {
+      propose(next_instance_++, skip.encode());
+      skip_due_ += cfg_.skip_interval;
+    }
   }
 }
 

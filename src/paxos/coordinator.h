@@ -9,12 +9,16 @@
 //   * runs multi-Paxos: one Phase 1 (prepare/promise) per ballot covering
 //     all instances, then pipelined Phase 2 (accept/accepted) per batch;
 //   * emits SKIP no-op batches when idle so that deterministic merge across
-//     rings never stalls (Multi-Ring Paxos skip mechanism);
+//     rings never stalls (Multi-Ring Paxos skip mechanism); skips follow an
+//     absolute per-interval schedule, so decide latency never throttles the
+//     cadence and missed intervals are repaid as one pipelined burst;
 //   * retransmits on timeout and re-prepares on NACK, so the ring stays live
 //     under message loss and competing coordinators stay safe.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <deque>
 #include <map>
 #include <memory>
@@ -123,6 +127,17 @@ class Coordinator : public transport::Endpoint {
     return stats_;
   }
 
+  /// Test hook: suppresses all on_tick work (batch sealing, retransmits,
+  /// skip emission) for `d` from now, simulating a tick thread starved by
+  /// CPU contention.  Thread-safe; message handling is unaffected, so the
+  /// ring keeps deciding submitted commands while "starved" — exactly the
+  /// regime that exposed the skip-cadence stall.
+  void stall_ticks_for(std::chrono::microseconds d) {
+    auto until = std::chrono::steady_clock::now() + d;
+    stall_until_ns_.store(until.time_since_epoch().count(),
+                          std::memory_order_relaxed);
+  }
+
  protected:
   void handle(transport::Message msg) override;
   [[nodiscard]] std::optional<std::chrono::microseconds> tick_interval()
@@ -194,7 +209,18 @@ class Coordinator : public transport::Endpoint {
   };
   std::map<Instance, InFlight> in_flight_;
 
-  std::chrono::steady_clock::time_point last_activity_{};
+  /// Absolute skip schedule: the next wall-clock deadline at which an idle
+  /// ring owes the merge layer a SKIP decision.  Advanced by exactly one
+  /// skip_interval per emitted skip (never refreshed by the skip's own
+  /// round-trip), so the cadence is one skip per interval of *wall time*
+  /// regardless of decide latency, and a starved tick thread repays its
+  /// backlog as a pipelined catch-up burst.  Real traffic (enqueue, non-skip
+  /// decide) resets the deadline — a loaded ring advances the merge with
+  /// real decisions and owes nothing.
+  std::chrono::steady_clock::time_point skip_due_{};
+
+  /// stall_ticks_for() deadline, as steady_clock ns since epoch (0 = none).
+  std::atomic<std::chrono::steady_clock::rep> stall_until_ns_{0};
 
   // Written on the coordinator thread only; the mutex makes stats() safe to
   // call from test/bench threads.

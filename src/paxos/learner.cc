@@ -66,13 +66,14 @@ std::optional<Decision> LearnerLog::try_next() {
 }
 
 std::optional<Decision> LearnerLog::take_ready() {
-  auto it = buffer_.find(next_);
+  Instance next = next_.load(std::memory_order_relaxed);
+  auto it = buffer_.find(next);
   if (it == buffer_.end()) return std::nullopt;
   Decision d;
-  d.instance = next_;
+  d.instance = next;
   d.batch = std::move(it->second);
   buffer_.erase(it);
-  ++next_;
+  next_.store(next + 1, std::memory_order_relaxed);
   last_progress_ = chrono::steady_clock::now();
   return d;
 }
@@ -80,10 +81,11 @@ std::optional<Decision> LearnerLog::take_ready() {
 void LearnerLog::ingest(transport::Message&& msg) {
   try {
     util::Reader r(msg.payload);
+    Instance next = next_.load(std::memory_order_relaxed);
     if (msg.type == MsgType::kPaxosDecide) {
       Instance inst = r.u64();
       auto value = r.bytes_view();
-      if (inst < next_ || buffer_.contains(inst)) return;  // duplicate
+      if (inst < next || buffer_.contains(inst)) return;  // duplicate
       auto batch = Batch::decode(value);
       if (!batch) {
         PSMR_ERROR("learner ring " << ring_ << ": corrupt batch at instance "
@@ -96,7 +98,7 @@ void LearnerLog::ingest(transport::Message&& msg) {
       for (std::uint32_t i = 0; i < n; ++i) {
         Instance inst = r.u64();
         auto value = r.bytes_view();
-        if (inst < next_ || buffer_.contains(inst)) continue;
+        if (inst < next || buffer_.contains(inst)) continue;
         if (auto batch = Batch::decode(value)) {
           buffer_.emplace(inst, std::move(*batch));
         }
@@ -113,13 +115,14 @@ void LearnerLog::ingest(transport::Message&& msg) {
 
 void LearnerLog::request_catchup() {
   if (acceptors_.empty()) return;
-  Instance hi = buffer_.empty() ? next_ + 64 : buffer_.rbegin()->first;
+  Instance next = next_.load(std::memory_order_relaxed);
+  Instance hi = buffer_.empty() ? next + 64 : buffer_.rbegin()->first;
   util::Writer w;
-  w.u64(next_);
+  w.u64(next);
   w.u64(hi);
   auto target = acceptors_[rng_.next_below(acceptors_.size())];
   net_.send(id_, target, MsgType::kPaxosCatchupReq, w.take());
-  PSMR_DEBUG("learner ring " << ring_ << ": catch-up [" << next_ << ", " << hi
+  PSMR_DEBUG("learner ring " << ring_ << ": catch-up [" << next << ", " << hi
                              << "] from node " << target);
 }
 

@@ -44,17 +44,27 @@ class LearnerLog {
   /// Bounded wait; std::nullopt on timeout or shutdown.
   std::optional<Decision> next_for(std::chrono::microseconds timeout);
 
-  /// Non-blocking variant.
+  /// Non-blocking variant.  std::nullopt means "no in-order decision ready
+  /// yet" *or* "closed" — poll closed() to tell the two apart.
   std::optional<Decision> try_next();
 
   /// Instance the next() call will return (number of decisions delivered).
-  [[nodiscard]] Instance next_instance() const { return next_; }
+  /// Safe to read from any thread (progress monitoring in tests).
+  [[nodiscard]] Instance next_instance() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+  /// True once close() ran: try_next()'s std::nullopt is then terminal
+  /// shutdown, never "not decided yet".  Safe from any thread.
+  [[nodiscard]] bool closed() const {
+    return closed_.load(std::memory_order_acquire);
+  }
 
   /// Stops delivery immediately: pending and future next() calls return
   /// std::nullopt even if decided batches are still buffered.  Used at
   /// replica shutdown so worker threads quiesce at a well-defined point.
   void close() {
-    closed_.store(true);
+    closed_.store(true, std::memory_order_release);
     mailbox_->close();
   }
 
@@ -71,7 +81,9 @@ class LearnerLog {
 
   std::map<Instance, Batch> buffer_;
   std::atomic<bool> closed_{false};
-  Instance next_ = 0;
+  /// Written only by the consuming thread; atomic so next_instance() can be
+  /// sampled from monitoring threads without a data race.
+  std::atomic<Instance> next_{0};
   util::SplitMix64 rng_;
   std::chrono::steady_clock::time_point last_progress_;
   std::chrono::microseconds catchup_after_{20000};  // 20 ms of no progress

@@ -77,4 +77,9 @@ CoordinatorStats Ring::stats() const {
   return coordinators_.back()->stats();
 }
 
+void Ring::stall_coordinator_ticks(std::chrono::microseconds d) {
+  std::lock_guard lock(mu_);
+  coordinators_.back()->stall_ticks_for(d);
+}
+
 }  // namespace psmr::paxos

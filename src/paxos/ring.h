@@ -60,6 +60,11 @@ class Ring {
   /// Aggregate stats from the current coordinator.
   [[nodiscard]] CoordinatorStats stats() const;
 
+  /// Test hook: starves the current coordinator's tick loop for `d`,
+  /// deterministically reproducing the CPU-contention regime behind the
+  /// merge skip-cadence stall (see Coordinator::stall_ticks_for).
+  void stall_coordinator_ticks(std::chrono::microseconds d);
+
   [[nodiscard]] const std::vector<transport::NodeId>& acceptor_ids() const {
     return acceptor_ids_;
   }

@@ -170,9 +170,14 @@ void PsmrReplica::worker_loop(std::size_t worker) {
     run.clear();
     run.push_back(std::move(first));
     while (run.size() < run_length_) {
-      auto delivery = sub.try_next();
-      if (!delivery) break;  // stream dry: flush immediately
-      auto cmd = Command::decode(delivery->message);
+      multicast::Delivery delivery;
+      // kDry and kClosed both end the accumulation — flush what we have.  A
+      // closed stream additionally means the outer blocking next() would
+      // never deliver again; the loop exits there on its nullopt.
+      if (sub.try_next(delivery) != multicast::MergeDeliverer::Poll::kDelivered) {
+        break;
+      }
+      auto cmd = Command::decode(delivery.message);
       if (!cmd) {
         PSMR_ERROR(name_ << " worker " << worker << ": malformed command");
         continue;

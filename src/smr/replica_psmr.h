@@ -20,8 +20,9 @@
 //
 // Batched execution: between synchronous-mode barriers, a worker
 // accumulates consecutive parallel-mode deliveries into a run of mutually
-// independent commands (bounded by run_length; a dry stream flushes
-// immediately via MergeDeliverer::try_next, so batching never waits) and
+// independent commands (bounded by run_length; a dry or closed stream
+// flushes immediately via MergeDeliverer::try_next, so batching never
+// waits) and
 // executes it as one Service::execute_batch call.  Run boundaries are
 // timing-dependent but, per the batch contract in service.h, replicas that
 // slice the same deterministic stream differently still converge.
@@ -71,6 +72,19 @@ class PsmrReplica {
   }
   /// Test hook: the shared reply coalescer (flush-pause rendezvous).
   [[nodiscard]] ResponseCoalescer& response_coalescer() { return *coalescer_; }
+
+  /// Test hooks: worker w's merged subscription — stream count, and the
+  /// number of ring decisions consumed so far from stream s (the shared
+  /// g_all ring is the last stream).  Progress assertions on these verify
+  /// that every worker's rotation keeps advancing — i.e. that idle rings'
+  /// skips actually reach the merge — without racing the worker thread.
+  [[nodiscard]] std::size_t num_streams(std::size_t w) const {
+    return subs_.at(w)->num_streams();
+  }
+  [[nodiscard]] paxos::Instance stream_position(std::size_t w,
+                                                std::size_t s) const {
+    return subs_.at(w)->stream_position(s);
+  }
 
  private:
   class WorkerSink;

@@ -113,6 +113,12 @@ class Deployment {
   /// Aggregate response_stats over every replica.
   [[nodiscard]] ResponseStats response_stats() const;
 
+  /// Test hook: replica i in P-SMR mode (nullptr in other modes).  Exposes
+  /// the per-worker merge-stream positions for progress assertions.
+  [[nodiscard]] PsmrReplica* psmr_replica(std::size_t i) {
+    return i < psmr_.size() ? psmr_[i].get() : nullptr;
+  }
+
   /// Number of service instances (replicas, or 1 for unreplicated modes).
   [[nodiscard]] std::size_t num_services() const;
   /// Commands executed by service instance i.

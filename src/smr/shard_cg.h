@@ -1,0 +1,102 @@
+// Shard-aware C-G function — the many-ring refinement of KeyedCg.
+//
+// KeyedCg satisfies a SAME-KEY dependency by hashing keys to groups, but it
+// has no notion of *multi-key* commands: anything without a single key is
+// either global (all groups) or spread randomly.  That is correct but
+// needlessly conservative once a deployment shards the keyspace across many
+// rings — a range scan forced to all 32 groups serializes all 32 workers.
+//
+// ShardedCg routes every command through one ShardMap:
+//   * global commands (structure changers) still go to ALL groups;
+//   * single-key commands go to the key's shard — identical partitioning to
+//     what every other proxy derives from the same map;
+//   * range commands go to exactly the shards their span intersects.  This
+//     refines the C-Dep's conservative ALWAYS(scan, update) soundly: under
+//     range sharding, every update whose key lies inside the scanned span
+//     maps to a covered shard (same map!), so the dependent pair still
+//     shares a group; an update outside the span cannot semantically
+//     conflict with the scan — updates never restructure, they write one
+//     slot the scan does not read.  Under hash sharding a range dissolves
+//     into all shards and the conservative behaviour returns.
+//   * key-list commands (multi-get) go to the union of their keys' shards,
+//     sound under both policies by the same argument;
+//   * keyless non-global commands spread pseudo-randomly, as in KeyedCg.
+// A multi-shard γ rides g_all and synchronizes only γ's workers (the
+// replica's synchronous mode handles arbitrary subsets); when a range or
+// key list collapses into one shard the command stays in parallel mode.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "multicast/shard.h"
+#include "smr/cg.h"
+
+namespace psmr::smr {
+
+/// Extracts the inclusive key range a command reads (std::nullopt when the
+/// command is not a range operation).  Service-defined, like KeyFn.
+using RangeFn = std::function<
+    std::optional<std::pair<std::uint64_t, std::uint64_t>>(const Command&)>;
+
+/// Extracts the key list of a multi-key command (std::nullopt when the
+/// command is not one).  Service-defined.
+using KeyListFn =
+    std::function<std::optional<std::vector<std::uint64_t>>(const Command&)>;
+
+class ShardedCg : public CGFunction {
+ public:
+  /// Any of `range_of` / `keys_of` may be null when the service has no such
+  /// commands.  `global` is the ALWAYS-cover, exactly as for KeyedCg.
+  ShardedCg(multicast::ShardMap map, KeyFn key_of,
+            std::unordered_set<CommandId> global, RangeFn range_of = nullptr,
+            KeyListFn keys_of = nullptr)
+      : map_(map),
+        key_of_(std::move(key_of)),
+        global_(std::move(global)),
+        range_of_(std::move(range_of)),
+        keys_of_(std::move(keys_of)) {}
+
+  [[nodiscard]] multicast::GroupSet groups(const Command& c) const override {
+    const std::size_t k = map_.num_shards();
+    if (global_.contains(c.cmd)) return multicast::GroupSet::all(k);
+    if (key_of_) {
+      if (auto key = key_of_(c)) {
+        return multicast::GroupSet::single(map_.group_of(*key));
+      }
+    }
+    if (range_of_) {
+      if (auto range = range_of_(c)) {
+        auto cover = map_.groups_for_range(range->first, range->second);
+        // A vacuous range ([lo > hi], or an empty key list below) still
+        // needs one deterministic destination for ordering and replies.
+        if (!cover.empty()) return cover;
+        return multicast::GroupSet::single(map_.group_of(range->first));
+      }
+    }
+    if (keys_of_) {
+      if (auto keys = keys_of_(c)) {
+        auto cover = map_.groups_for_keys(*keys);
+        if (!cover.empty()) return cover;
+        return multicast::GroupSet::single(spread_group(c, k));
+      }
+    }
+    return multicast::GroupSet::single(spread_group(c, k));
+  }
+
+  [[nodiscard]] std::size_t mpl() const override { return map_.num_shards(); }
+
+  [[nodiscard]] const multicast::ShardMap& shard_map() const { return map_; }
+
+ private:
+  multicast::ShardMap map_;
+  KeyFn key_of_;
+  std::unordered_set<CommandId> global_;
+  RangeFn range_of_;
+  KeyListFn keys_of_;
+};
+
+}  // namespace psmr::smr

@@ -1,0 +1,223 @@
+#include "smr/shard_spec.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace psmr::smr {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::invalid_argument("shard spec line " + std::to_string(line_no) +
+                              ": " + what);
+}
+
+/// Strips the comment tail and surrounding whitespace.
+std::string_view clean(std::string_view line) {
+  if (auto hash = line.find('#'); hash != std::string_view::npos) {
+    line = line.substr(0, hash);
+  }
+  while (!line.empty() && std::isspace(static_cast<unsigned char>(
+                              line.front()))) {
+    line.remove_prefix(1);
+  }
+  while (!line.empty() &&
+         std::isspace(static_cast<unsigned char>(line.back()))) {
+    line.remove_suffix(1);
+  }
+  return line;
+}
+
+std::vector<std::string> tokens_of(std::string_view line) {
+  std::vector<std::string> out;
+  std::istringstream in{std::string(line)};
+  std::string tok;
+  while (in >> tok) out.push_back(std::move(tok));
+  return out;
+}
+
+std::uint64_t parse_u64(const std::string& tok, std::size_t line_no) {
+  std::uint64_t value = 0;
+  auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), value);
+  if (ec != std::errc{} || ptr != tok.data() + tok.size()) {
+    fail(line_no, "expected an unsigned integer, got '" + tok + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+ShardSpec parse_shard_spec(std::string_view text) {
+  ShardSpec spec;
+  spec.keyspace = 0;
+  bool saw_policy = false;
+  std::vector<std::pair<multicast::GroupId, double>> traffic_lines;
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    auto eol = text.find('\n', pos);
+    std::string_view raw = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    auto line = clean(raw);
+    if (line.empty()) continue;
+
+    auto toks = tokens_of(line);
+    if (toks[0] == "policy") {
+      if (toks.size() != 2) fail(line_no, "usage: policy hash|range");
+      if (toks[1] == "hash") {
+        spec.policy = multicast::ShardPolicy::kHash;
+      } else if (toks[1] == "range") {
+        spec.policy = multicast::ShardPolicy::kRange;
+      } else {
+        fail(line_no, "unknown policy '" + toks[1] + "'");
+      }
+      saw_policy = true;
+    } else if (toks[0] == "keyspace") {
+      if (toks.size() != 2) fail(line_no, "usage: keyspace <N>");
+      spec.keyspace = parse_u64(toks[1], line_no);
+    } else if (toks[0].size() > 1 && toks[0][0] == 'm') {
+      // Traffic line: m<groupId> <weight>.
+      if (toks.size() != 2) fail(line_no, "usage: m<groupId> <weight>");
+      auto group = parse_u64(toks[0].substr(1), line_no);
+      double weight = 0;
+      try {
+        std::size_t used = 0;
+        weight = std::stod(toks[1], &used);
+        if (used != toks[1].size()) throw std::invalid_argument(toks[1]);
+      } catch (const std::exception&) {
+        fail(line_no, "expected a weight, got '" + toks[1] + "'");
+      }
+      if (weight < 0) fail(line_no, "traffic weight must be >= 0");
+      traffic_lines.emplace_back(static_cast<multicast::GroupId>(group),
+                                 weight);
+    } else {
+      // Group line: <groupId> [<replica> <replica> ...].
+      ShardGroup group;
+      group.id = static_cast<multicast::GroupId>(parse_u64(toks[0], line_no));
+      if (toks.size() < 3 || toks[1].front() != '[' ||
+          toks.back().back() != ']') {
+        fail(line_no, "usage: <groupId> [<replica> <replica> ...]");
+      }
+      toks[1].erase(toks[1].begin());
+      toks.back().pop_back();
+      for (std::size_t i = 1; i < toks.size(); ++i) {
+        if (toks[i].empty()) continue;  // "[0" style spacing artifacts
+        group.replicas.push_back(
+            static_cast<std::uint32_t>(parse_u64(toks[i], line_no)));
+      }
+      if (group.replicas.empty()) fail(line_no, "empty replica set");
+      spec.groups.push_back(std::move(group));
+    }
+  }
+
+  if (!saw_policy) throw std::invalid_argument("shard spec: missing policy");
+  if (spec.groups.empty()) {
+    throw std::invalid_argument("shard spec: no groups defined");
+  }
+  if (spec.groups.size() >= 64) {
+    throw std::invalid_argument(
+        "shard spec: at most 63 groups fit the group mask");
+  }
+  std::sort(spec.groups.begin(), spec.groups.end(),
+            [](const ShardGroup& a, const ShardGroup& b) {
+              return a.id < b.id;
+            });
+  for (std::size_t i = 0; i < spec.groups.size(); ++i) {
+    if (spec.groups[i].id != i) {
+      throw std::invalid_argument(
+          "shard spec: group ids must be dense 0..n-1 (missing or duplicate "
+          "id " +
+          std::to_string(i) + ")");
+    }
+  }
+  // Uniform replica sets: every worker group lives on every replica (thread
+  // t_i of each replica is in g_i), so an asymmetric spec is unbuildable.
+  auto canon = spec.groups.front().replicas;
+  std::sort(canon.begin(), canon.end());
+  for (const auto& g : spec.groups) {
+    auto rs = g.replicas;
+    std::sort(rs.begin(), rs.end());
+    if (rs != canon) {
+      throw std::invalid_argument(
+          "shard spec: replica sets must be uniform across groups (group " +
+          std::to_string(g.id) + " differs)");
+    }
+    if (std::adjacent_find(rs.begin(), rs.end()) != rs.end()) {
+      throw std::invalid_argument("shard spec: duplicate replica in group " +
+                                  std::to_string(g.id));
+    }
+  }
+  if (spec.keyspace < spec.groups.size()) {
+    throw std::invalid_argument(
+        "shard spec: keyspace must cover at least one key per group");
+  }
+
+  spec.traffic.assign(spec.groups.size(), 1.0);
+  for (auto [group, weight] : traffic_lines) {
+    if (group >= spec.groups.size()) {
+      throw std::invalid_argument("shard spec: traffic line names undefined "
+                                  "group " +
+                                  std::to_string(group));
+    }
+    spec.traffic[group] = weight;
+  }
+  return spec;
+}
+
+std::string format_shard_spec(const ShardSpec& spec) {
+  std::ostringstream out;
+  out << "# Sharded P-SMR deployment\n";
+  out << "policy " << multicast::shard_policy_name(spec.policy) << "\n";
+  out << "keyspace " << spec.keyspace << "\n\n";
+  out << "# Multicast groups: groupId [replica_numbers]\n";
+  out << "#     (must be defined before referenced in a traffic line)\n";
+  for (const auto& g : spec.groups) {
+    out << g.id << " [";
+    for (std::size_t i = 0; i < g.replicas.size(); ++i) {
+      if (i != 0) out << " ";
+      out << g.replicas[i];
+    }
+    out << "]\n";
+  }
+  out << "\n# traffic: m<groupId> <relative_weight>\n";
+  for (std::size_t g = 0; g < spec.traffic.size(); ++g) {
+    out << "m" << g << " " << spec.traffic[g] << "\n";
+  }
+  return out.str();
+}
+
+ShardSpec make_uniform_shard_spec(std::size_t shards, std::size_t replicas,
+                                  std::uint64_t keyspace,
+                                  multicast::ShardPolicy policy) {
+  ShardSpec spec;
+  spec.policy = policy;
+  spec.keyspace = keyspace;
+  for (std::size_t g = 0; g < shards; ++g) {
+    ShardGroup group;
+    group.id = static_cast<multicast::GroupId>(g);
+    for (std::size_t r = 0; r < replicas; ++r) {
+      group.replicas.push_back(static_cast<std::uint32_t>(r));
+    }
+    spec.groups.push_back(std::move(group));
+  }
+  spec.traffic.assign(shards, 1.0);
+  return spec;
+}
+
+DeploymentConfig shard_deployment_config(const ShardSpec& spec) {
+  DeploymentConfig cfg;
+  cfg.mode = Mode::kPsmr;
+  cfg.mpl = spec.num_groups();
+  cfg.replicas = spec.num_replicas();
+  return cfg;
+}
+
+}  // namespace psmr::smr

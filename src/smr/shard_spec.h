@@ -1,0 +1,87 @@
+// Declarative shard deployment specs — many rings from one text file.
+//
+// A sharded P-SMR deployment is described IRON-style (see the traffic files
+// of raytheonbbn/IRON's OptimizedMulticast analysis, whose format this
+// follows): one line per multicast group listing the replicas that host it,
+// plus optional `m<groupId> <weight>` traffic lines assigning each group a
+// relative workload share.  Example:
+//
+//     # Sharded P-SMR deployment
+//     policy range
+//     keyspace 65536
+//
+//     # Multicast groups: groupId [replica_numbers]
+//     #     (must be defined before referenced in a traffic line)
+//     0 [0 1]
+//     1 [0 1]
+//     2 [0 1]
+//
+//     # traffic: m<groupId> <relative_weight>
+//     m0 2.0
+//     m2 0.5
+//
+// Our replicas host *every* worker group (thread t_i of each replica is in
+// g_i — paper Section VI-A), so the per-group replica sets must be uniform;
+// the parser validates this instead of silently building an asymmetric
+// deployment the replica code cannot express.  Group ids must be dense
+// 0..n-1 because they double as worker-thread and shard indices.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "multicast/shard.h"
+#include "smr/runtime.h"
+
+namespace psmr::smr {
+
+struct ShardGroup {
+  multicast::GroupId id = 0;
+  /// Replica numbers hosting this group's worker (uniform across groups).
+  std::vector<std::uint32_t> replicas;
+};
+
+struct ShardSpec {
+  multicast::ShardPolicy policy = multicast::ShardPolicy::kHash;
+  std::uint64_t keyspace = 0;
+  /// Sorted by id; ids are dense 0..num_groups()-1.
+  std::vector<ShardGroup> groups;
+  /// Relative workload weight per group (traffic `m<g> <w>` lines; groups
+  /// without a line weigh 1.0).  Drives skewed load generation in benches
+  /// and tests; the mapping layer itself ignores it.
+  std::vector<double> traffic;
+
+  [[nodiscard]] std::size_t num_groups() const { return groups.size(); }
+  [[nodiscard]] std::size_t num_replicas() const {
+    return groups.empty() ? 0 : groups.front().replicas.size();
+  }
+  /// The key→shard map every proxy of this deployment must share.
+  [[nodiscard]] multicast::ShardMap map() const {
+    return {policy, num_groups(), keyspace};
+  }
+};
+
+/// Parses a spec document.  Throws std::invalid_argument with a line-number
+/// diagnostic on malformed input, non-dense group ids, non-uniform replica
+/// sets, more groups than the group mask holds, or traffic lines naming
+/// undefined groups.
+[[nodiscard]] ShardSpec parse_shard_spec(std::string_view text);
+
+/// Renders a spec back into the text format (round-trips via parse).
+[[nodiscard]] std::string format_shard_spec(const ShardSpec& spec);
+
+/// The common case programmatically: `shards` groups, each hosted by
+/// replicas 0..replicas-1, uniform traffic.
+[[nodiscard]] ShardSpec make_uniform_shard_spec(
+    std::size_t shards, std::size_t replicas, std::uint64_t keyspace,
+    multicast::ShardPolicy policy = multicast::ShardPolicy::kHash);
+
+/// Deployment skeleton for a spec: P-SMR mode, one worker group per shard,
+/// the spec's replica count.  The caller supplies the service and C-G
+/// factories (service-specific) — pair with a ShardedCg built over
+/// spec.map() so clients and the spec agree on key placement.
+[[nodiscard]] DeploymentConfig shard_deployment_config(const ShardSpec& spec);
+
+}  // namespace psmr::smr

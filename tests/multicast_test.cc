@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <map>
 #include <thread>
 #include <vector>
@@ -215,6 +217,66 @@ TEST(Bus, SkipAccountingExposed) {
   // Idle bus with merging: rings decide skips to keep merges live.
   EXPECT_GT(bus.decided_skips(), 0u);
   EXPECT_EQ(bus.decided_commands(), 0u);
+}
+
+TEST(MergeDeliverer, TryNextSeparatesDryFromClosed) {
+  Network net;
+  Bus bus(net, fast_bus(1));
+  auto sub = bus.subscribe(0);
+  bus.start();
+
+  Delivery d;
+  EXPECT_EQ(sub->try_next(d), MergeDeliverer::Poll::kDry)
+      << "nothing decided yet is dry, not closed";
+  EXPECT_FALSE(sub->closed());
+
+  auto [me, mybox] = net.register_node();
+  ASSERT_TRUE(bus.multicast(me, GroupSet::single(0), msg(42)));
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  MergeDeliverer::Poll p = MergeDeliverer::Poll::kDry;
+  while (p == MergeDeliverer::Poll::kDry &&
+         std::chrono::steady_clock::now() < deadline) {
+    p = sub->try_next(d);
+  }
+  ASSERT_EQ(p, MergeDeliverer::Poll::kDelivered);
+  EXPECT_EQ(msg_id(d.message), 42u);
+
+  sub->close();
+  EXPECT_TRUE(sub->closed());
+  EXPECT_EQ(sub->try_next(d), MergeDeliverer::Poll::kClosed);
+  EXPECT_EQ(sub->try_next(d), MergeDeliverer::Poll::kClosed)
+      << "kClosed is terminal";
+  EXPECT_FALSE(sub->next().has_value())
+      << "blocking next() must agree with a kClosed poll";
+}
+
+// The race the tri-state result exists for: a poller that sees only
+// std::nullopt cannot tell a dry stream from one closed underneath it, and
+// falling back to a blocking next() after shutdown would hang forever.
+TEST(MergeDeliverer, CloseWhilePollingTurnsTerminalNotDry) {
+  Network net;
+  Bus bus(net, fast_bus(2));
+  auto sub = bus.subscribe(0);
+  bus.start();
+
+  std::atomic<bool> saw_closed{false};
+  std::thread poller([&] {
+    Delivery d;
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (sub->try_next(d) == MergeDeliverer::Poll::kClosed) {
+        saw_closed = true;
+        return;
+      }
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  sub->close();
+  poller.join();
+  EXPECT_TRUE(saw_closed)
+      << "poller kept reading kDry after close(): shutdown is invisible";
+  EXPECT_FALSE(sub->next().has_value());
 }
 
 }  // namespace

@@ -214,6 +214,32 @@ TEST(Calibration, SimulatorTracksMeasuredBtreeCost) {
   EXPECT_LE(expect_kcps, seed_kcps * bt.batch_speedup());
 }
 
+TEST(Calibration, ShardSweepGateHoldsInTheSimulator) {
+  // The CI gate over BENCH_shard.json (bench_fig5_scalability) asserts that
+  // P-SMR throughput at gate_shards is >= min_scaling x the single-shard
+  // baseline at the pinned conflict rate.  The simulator is deterministic,
+  // so the same relation must hold here: if a model or calibration change
+  // flattens the sharded scaling curve, this catches it before the bench
+  // smoke-run does.
+  ShardCalibration sc;
+  auto point = [&](int shards) {
+    SimConfig cfg = quick_cfg(Tech::kPsmr, shards);
+    cfg.clients = 30 * shards;
+    cfg.frac_dependent = sc.conflict_rate;
+    return simulate(cfg).kcps;
+  };
+  double baseline = point(sc.baseline_shards);
+  double at_gate = point(sc.gate_shards);
+  ASSERT_GT(baseline, 0.0);
+  EXPECT_GE(at_gate / baseline, sc.min_scaling)
+      << "sharded scaling fell below the BENCH_shard.json CI gate";
+  // And the pin itself stays in the regime the sweep was designed for:
+  // minority cross-shard traffic at a non-trivial rate.
+  EXPECT_GT(sc.conflict_rate, 0.0);
+  EXPECT_LT(sc.conflict_rate, 0.5);
+  EXPECT_GT(sc.gate_shards, sc.baseline_shards);
+}
+
 TEST(Calibration, ExecCostScalesSaturatedThroughputInversely) {
   // Round-trip sensitivity: doubling the calibrated execution cost must
   // halve saturated single-thread throughput (within closed-loop noise).

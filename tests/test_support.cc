@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <stdexcept>
 
 #include "kvstore/kv_service.h"
 
@@ -93,6 +94,31 @@ smr::DeploymentConfig kv_config_with_ring(smr::Mode mode, std::size_t mpl,
     return std::make_shared<kvstore::ConcurrentKvService>(initial_keys);
   };
   cfg.cg_factory = [](std::size_t k) { return kvstore::kv_keyed_cg(k); };
+  return cfg;
+}
+
+smr::DeploymentConfig sharded_kv_config(const smr::ShardSpec& spec,
+                                        std::uint64_t initial_keys) {
+  smr::DeploymentConfig cfg = smr::shard_deployment_config(spec);
+  cfg.ring = fast_ring();
+  // fast_ring() is tuned for ~9 rings; a many-shard deployment multiplies
+  // the idle-skip rate by its ring count, so stretch the interval to keep
+  // the aggregate skip load (and this small host) roughly constant.
+  if (spec.num_groups() > 8) {
+    cfg.ring.skip_interval *= static_cast<int>(spec.num_groups() / 8);
+  }
+  cfg.service_factory = [initial_keys] {
+    return std::make_unique<kvstore::KvService>(initial_keys);
+  };
+  auto map = spec.map();
+  cfg.cg_factory = [map](std::size_t k) {
+    // The deployment always asks for k == num shards (mpl); a mismatch
+    // means the spec and the deployment drifted apart.
+    if (k != map.num_shards()) {
+      throw std::invalid_argument("sharded_kv_config: mpl != shard count");
+    }
+    return kvstore::kv_sharded_cg(map);
+  };
   return cfg;
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "smr/runtime.h"
+#include "smr/shard_spec.h"
 
 namespace psmr::test_support {
 
@@ -81,6 +82,14 @@ smr::DeploymentConfig kv_config_with_ring(smr::Mode mode, std::size_t mpl,
                                           const paxos::RingConfig& ring,
                                           std::uint64_t initial_keys = 0,
                                           std::size_t replicas = 2);
+
+/// A sharded P-SMR KV deployment built from a shard spec: one worker group
+/// (and ring) per shard, fast_ring() tuning, KvService preloaded with
+/// `initial_keys`, and the shard-aware C-G over spec.map() — so clients
+/// route reads/updates to their key's shard and scans/multi-reads to
+/// exactly the shards they cover.
+smr::DeploymentConfig sharded_kv_config(const smr::ShardSpec& spec,
+                                        std::uint64_t initial_keys = 0);
 
 /// Blocks until every service instance has executed >= n commands (or the
 /// timeout elapses; the caller's subsequent assertions catch a timeout).
