@@ -203,6 +203,45 @@ struct ShardCalibration {
   double min_scaling = 1.5;
 };
 
+/// Overload/admission sweep pin (PR 7).  Source: `bench_fig9_latency_rate
+/// --json` (BENCH_latency.json) — the deterministic fluid overload model
+/// (sim/model.h, simulate_overload) swept over offered rates with the
+/// admission valve off and on.  The model is fully deterministic and runs a
+/// fixed virtual interval regardless of --quick, so the CI gate over the
+/// bench JSON and the sim_calibration_test assertions see identical numbers.
+///
+/// Shape being pinned: goodput tracks offered rate up to the knee; past it,
+/// with no valve, the in-ring backlog degrades effective capacity and
+/// goodput *collapses* (congestion collapse, not a plateau), while the
+/// occupancy valve caps the backlog and holds goodput near the knee with a
+/// bounded latency tail.
+struct AdmissionCalibration {
+  // Model inputs (OverloadConfig defaults the bench runs with).
+  double capacity_kcps = 842.0;    // KvCosts' single-stream SMR pipeline
+  double overload_penalty = 2.0e-5;
+  double shed_enter_occupancy = 8192;   // = smr::AdmissionConfig defaults
+  double shed_exit_occupancy = 4096;
+  /// Knee detection: the knee is the highest swept offered rate whose
+  /// goodput still covers this fraction of it.
+  double knee_headroom = 0.9;
+  /// The overload probe runs at this multiple of the knee's offered rate.
+  double overload_factor = 2.0;
+
+  // Measured record (bench_fig9_latency_rate --json, reference container).
+  double knee_offered_kcps = 842.0;
+  double knee_goodput_kcps = 836.2;
+  double on_goodput_2x_kcps = 750.9;    // admission ON at 2x-knee offered
+  double off_goodput_2x_kcps = 310.3;   // admission OFF at 2x-knee offered
+  double on_p99_2x_us = 11392.0;        // bounded by the occupancy cap
+  double off_p99_2x_us = 2015232.0;     // collapse: seconds-long sojourns
+
+  // CI gates (checked over BENCH_latency.json and re-asserted from the
+  // model in sim_calibration_test).
+  double min_goodput_vs_knee = 0.8;       // ON at 2x-knee holds >= 0.8x knee
+  double max_goodput_off_vs_knee = 0.6;   // OFF must collapse below 0.6x knee
+  double max_p99_on_us = 25'000;          // ON tail stays bounded
+};
+
 /// Client/network constants shared by both services.
 struct NetCosts {
   double one_way = 60.0;        // client <-> cluster, switched gigabit

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "sim/calibration.h"
 #include "util/histogram.h"
@@ -78,5 +79,66 @@ struct SimResult {
 
 /// Runs one closed-loop simulation.  Deterministic for a fixed config.
 SimResult simulate(const SimConfig& cfg);
+
+// --- Open-loop overload model (fig9: latency/goodput vs offered rate) -----
+//
+// A deterministic fluid-limit view of the system past its saturation knee.
+// The closed-loop simulator above cannot exhibit overload (its window caps
+// the backlog by construction), so fig9 models the open-loop population as
+// a fluid: arrivals at the offered rate feed an in-ring backlog B, and the
+// service path drains it at an *effective* capacity
+//
+//     eff(B) = capacity / (1 + overload_penalty * B)
+//
+// — every queued command makes the ones behind it slower (growing pending
+// maps and batch backlogs, retransmission storms), which is what turns
+// saturation into congestion collapse when nothing sheds.  With the
+// admission valve on, arrivals are shed while B sits above the
+// shed_enter/shed_exit hysteresis band (mirroring smr::AdmissionController
+// on the real runtime), capping B and so bounding both the latency tail and
+// the goodput loss.  Completed fluid records sojourn time
+// base_latency + B/eff into the histogram, so per-rate percentiles fall out.
+
+struct OverloadConfig {
+  /// Saturated service capacity, Kcps (KvCosts pins the single-stream SMR
+  /// pipeline at ~842 Kcps; see calibration.h).
+  double capacity_kcps = 842.0;
+  /// Unloaded command latency: two client<->cluster hops plus one ordering
+  /// round (NetCosts one_way*2 + order_base).
+  double base_latency_us = 210.0;
+  /// Congestion-collapse coefficient (1/commands): how much each queued
+  /// command degrades effective capacity.
+  double overload_penalty = 2.0e-5;
+  /// Admission valve (mirrors smr::AdmissionConfig's occupancy thresholds).
+  bool admission = false;
+  double shed_enter_occupancy = 8192;
+  double shed_exit_occupancy = 4096;
+  /// Virtual measured interval and fluid integration step.  Fixed regardless
+  /// of bench --quick: the CI gate and sim_calibration_test must agree.
+  double duration_us = 200'000;
+  double step_us = 50.0;
+};
+
+struct OverloadPoint {
+  double offered_kcps = 0;
+  double goodput_kcps = 0;   // completed commands per virtual second
+  double shed_kcps = 0;      // admission-shed arrivals per virtual second
+  double shed_fraction = 0;  // shed / offered
+  double p50_latency_us = 0;
+  double p95_latency_us = 0;
+  double p99_latency_us = 0;
+  double final_backlog = 0;  // commands still in-ring when the window closed
+  util::Histogram latency;
+};
+
+/// Runs the fluid model at one offered rate.  Deterministic.
+OverloadPoint simulate_overload(const OverloadConfig& cfg,
+                                double offered_kcps);
+
+/// Knee of an offered-rate sweep (points sorted by offered rate): index of
+/// the last point whose goodput still covers `headroom` of its offered rate
+/// (0 when even the first point is past saturation).
+std::size_t knee_index(const std::vector<OverloadPoint>& points,
+                       double headroom);
 
 }  // namespace psmr::sim

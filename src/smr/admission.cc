@@ -1,0 +1,73 @@
+#include "smr/admission.h"
+
+#include <algorithm>
+
+namespace psmr::smr {
+
+AdmissionController::AdmissionController(AdmissionConfig cfg,
+                                         OccupancySource source)
+    : cfg_(cfg),
+      source_(std::move(source)),
+      burst_(cfg.client_burst > 0
+                 ? cfg.client_burst
+                 : std::max(1.0, cfg.client_rate_cps / 100.0)) {}
+
+void AdmissionController::refresh_occupancy_locked(std::int64_t now_us) {
+  if (!source_) return;
+  if (refreshed_once_ && cfg_.occupancy_refresh_us > 0 &&
+      now_us - last_refresh_us_ < cfg_.occupancy_refresh_us) {
+    return;
+  }
+  refreshed_once_ = true;
+  last_refresh_us_ = now_us;
+  occupancy_ = occupancy_of(source_());
+  ++stats_.occupancy_samples;
+  // Hysteresis: enter at the high threshold, leave at the low one, so the
+  // valve holds through the decided-commands catch-up burst that follows a
+  // shed instead of flapping around one threshold.
+  if (!shedding_ && occupancy_ >= cfg_.shed_enter_occupancy) {
+    shedding_ = true;
+    ++stats_.shed_entries;
+  } else if (shedding_ && occupancy_ <= cfg_.shed_exit_occupancy) {
+    shedding_ = false;
+  }
+}
+
+Admit AdmissionController::admit(ClientId client, std::int64_t now_us) {
+  std::lock_guard lock(mu_);
+  refresh_occupancy_locked(now_us);
+  if (shedding_) {
+    ++stats_.shed_overload;
+    return Admit::kShedOverload;
+  }
+  if (cfg_.client_rate_cps > 0) {
+    Bucket& b = buckets_[client];
+    if (!b.primed) {
+      b.primed = true;
+      b.tokens = burst_;
+      b.last_us = now_us;
+    } else if (now_us > b.last_us) {
+      double refill = static_cast<double>(now_us - b.last_us) * 1e-6 *
+                      cfg_.client_rate_cps;
+      b.tokens = std::min(burst_, b.tokens + refill);
+      b.last_us = now_us;
+    }
+    if (b.tokens < 1.0) {
+      ++stats_.throttled;
+      return Admit::kThrottled;
+    }
+    b.tokens -= 1.0;
+  }
+  ++stats_.admitted;
+  return Admit::kAdmit;
+}
+
+AdmissionStats AdmissionController::stats() const {
+  std::lock_guard lock(mu_);
+  AdmissionStats s = stats_;
+  s.last_occupancy = occupancy_;
+  s.shedding = shedding_;
+  return s;
+}
+
+}  // namespace psmr::smr

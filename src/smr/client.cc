@@ -6,8 +6,13 @@
 namespace psmr::smr {
 
 ClientProxy::ClientProxy(transport::Network& net, multicast::Bus& bus,
-                         std::shared_ptr<const CGFunction> cg, ClientId id)
-    : net_(net), bus_(&bus), cg_(std::move(cg)), id_(id) {
+                         std::shared_ptr<const CGFunction> cg, ClientId id,
+                         std::shared_ptr<AdmissionController> admission)
+    : net_(net),
+      bus_(&bus),
+      cg_(std::move(cg)),
+      admission_(std::move(admission)),
+      id_(id) {
   auto [node, box] = net.register_node();
   node_ = node;
   mailbox_ = std::move(box);
@@ -28,7 +33,7 @@ bool ClientProxy::dispatch(const Command& c) {
   return net_.send(node_, server_, transport::MsgType::kSmrDirect, c.encode());
 }
 
-Seq ClientProxy::submit(CommandId cmd, util::Buffer params) {
+std::optional<Seq> ClientProxy::submit(CommandId cmd, util::Buffer params) {
   Command c;
   c.cmd = cmd;
   c.client = id_;
@@ -36,18 +41,40 @@ Seq ClientProxy::submit(CommandId cmd, util::Buffer params) {
   c.reply_to = node_;
   c.params = std::move(params);
   c.groups = cg_ ? cg_->groups(c) : multicast::GroupSet::single(0);
-  dispatch(c);
-  pending_.emplace(c.seq, Pending{std::move(c), util::now_us()});
-  return next_seq_ - 1;
+  const Seq seq = c.seq;
+  if (admission_) {
+    Admit verdict = admission_->admit(id_, util::now_us());
+    if (verdict != Admit::kAdmit) {
+      // Fail fast: the command never reaches a coordinator.  The rejection
+      // rides the normal response path — a kSmrRejected frame looped
+      // through our own mailbox — so poll() completes it like any reply
+      // and callers observe exactly one completion per accepted command.
+      Response r;
+      r.client = id_;
+      r.seq = seq;
+      r.payload = util::Buffer{static_cast<std::uint8_t>(verdict)};
+      pending_.emplace(seq, Pending{std::move(c), util::now_us()});
+      if (!net_.send(node_, node_, transport::MsgType::kSmrRejected,
+                     r.encode())) {
+        pending_.erase(seq);  // shutdown race: nothing may pend
+        return std::nullopt;
+      }
+      return seq;
+    }
+  }
+  if (!dispatch(c)) return std::nullopt;  // rejected dispatch must not pend
+  pending_.emplace(seq, Pending{std::move(c), util::now_us()});
+  return seq;
 }
 
-void ClientProxy::absorb(Response resp) {
+void ClientProxy::absorb(Response resp, bool rejected) {
   auto it = pending_.find(resp.seq);
   if (it == pending_.end()) return;  // duplicate from another replica
   Completion done;
   done.seq = resp.seq;
   done.payload = std::move(resp.payload);
   done.latency_us = util::now_us() - it->second.submitted_us;
+  done.rejected = rejected;
   pending_.erase(it);
   ready_.push_back(std::move(done));
 }
@@ -82,7 +109,8 @@ std::optional<ClientProxy::Completion> ClientProxy::poll(
         PSMR_WARN("client " << id_ << ": malformed response");
         continue;
       }
-      absorb(std::move(*resp));
+      absorb(std::move(*resp),
+             msg->type == transport::MsgType::kSmrRejected);
     }
   }
 }
@@ -90,7 +118,9 @@ std::optional<ClientProxy::Completion> ClientProxy::poll(
 std::optional<util::Buffer> ClientProxy::call(
     CommandId cmd, util::Buffer params, std::chrono::microseconds timeout,
     std::chrono::microseconds retry_every) {
-  Seq seq = submit(cmd, std::move(params));
+  auto submitted = submit(cmd, std::move(params));
+  if (!submitted) return std::nullopt;  // transport rejected the dispatch
+  Seq seq = *submitted;
   auto deadline = std::chrono::steady_clock::now() + timeout;
   auto next_retry = std::chrono::steady_clock::now() + retry_every;
   while (std::chrono::steady_clock::now() < deadline) {
@@ -98,7 +128,10 @@ std::optional<util::Buffer> ClientProxy::call(
     auto wait = std::min(deadline, next_retry) - now;
     auto done =
         poll(std::chrono::duration_cast<std::chrono::microseconds>(wait));
-    if (done && done->seq == seq) return std::move(done->payload);
+    if (done && done->seq == seq) {
+      if (done->rejected) return std::nullopt;  // admission shed: fail fast
+      return std::move(done->payload);
+    }
     if (done) continue;  // an older call's completion; keep waiting for ours
     if (mailbox_->closed()) return std::nullopt;
     if (std::chrono::steady_clock::now() >= next_retry) {

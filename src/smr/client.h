@@ -18,9 +18,11 @@
 
 #include <deque>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 
 #include "multicast/amcast.h"
+#include "smr/admission.h"
 #include "smr/cg.h"
 #include "smr/command.h"
 #include "util/clock.h"
@@ -30,8 +32,12 @@ namespace psmr::smr {
 class ClientProxy {
  public:
   /// Replicated-mode proxy: requests go through the atomic multicast bus.
+  /// `admission`, when set, is consulted before every dispatch — a shed
+  /// command never reaches the bus; it fails fast as a kSmrRejected
+  /// completion instead (see admission.h).
   ClientProxy(transport::Network& net, multicast::Bus& bus,
-              std::shared_ptr<const CGFunction> cg, ClientId id);
+              std::shared_ptr<const CGFunction> cg, ClientId id,
+              std::shared_ptr<AdmissionController> admission = nullptr);
 
   /// Direct-mode proxy: requests go one-to-one to `server`.
   ClientProxy(transport::Network& net, transport::NodeId server, ClientId id);
@@ -50,13 +56,31 @@ class ClientProxy {
       std::chrono::microseconds retry_every = std::chrono::seconds(2));
 
   /// Asynchronous submission; the returned seq identifies the completion.
-  Seq submit(CommandId cmd, util::Buffer params);
+  ///
+  /// std::nullopt means the command was NOT accepted into the pipeline: the
+  /// transport rejected the dispatch (shutdown, disconnected peer).  Nothing
+  /// pends in that case — a failed submit can never wedge outstanding().
+  /// An admission-shed command, by contrast, IS accepted: it completes
+  /// through poll() with Completion::rejected set (fail fast, one loopback
+  /// hop), so the caller observes every accepted command exactly once.
+  [[nodiscard]] std::optional<Seq> submit(CommandId cmd, util::Buffer params);
 
   struct Completion {
     Seq seq = 0;
     util::Buffer payload;
     std::int64_t latency_us = 0;
+    /// True when admission control shed this command (kSmrRejected); the
+    /// payload then carries one byte, the smr::Admit verdict.
+    bool rejected = false;
   };
+
+  /// Decodes a rejected Completion's verdict byte (kThrottled on a
+  /// malformed payload, which cannot happen for locally produced frames).
+  [[nodiscard]] static Admit rejection_verdict(const Completion& done) {
+    if (done.payload.size() != 1) return Admit::kThrottled;
+    auto v = static_cast<Admit>(done.payload[0]);
+    return v == Admit::kShedOverload ? v : Admit::kThrottled;
+  }
 
   /// Waits up to `timeout` for any outstanding command to complete.
   /// Duplicate responses (from the other replicas) are absorbed silently.
@@ -76,12 +100,13 @@ class ClientProxy {
   bool dispatch(const Command& c);
   /// Matches one decoded response against pending_; completions queue in
   /// ready_, duplicates (other replicas) are absorbed silently.
-  void absorb(Response resp);
+  void absorb(Response resp, bool rejected = false);
 
   transport::Network& net_;
   multicast::Bus* bus_ = nullptr;  // null in direct mode
   transport::NodeId server_ = transport::kNoNode;
   std::shared_ptr<const CGFunction> cg_;
+  std::shared_ptr<AdmissionController> admission_;
   ClientId id_;
   transport::NodeId node_ = transport::kNoNode;
   std::shared_ptr<transport::Mailbox> mailbox_;

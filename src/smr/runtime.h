@@ -72,6 +72,13 @@ struct DeploymentConfig {
   /// k = mpl for P-SMR clients and for the sP-SMR/no-rep scheduler, and with
   /// k = 1 for SMR/sP-SMR clients.
   std::function<std::shared_ptr<const CGFunction>(std::size_t)> cg_factory;
+  /// Overload admission control at the proxy/coordinator boundary (see
+  /// admission.h).  When enabled, every client proxy of a replicated mode
+  /// shares one controller whose occupancy signal is the bus's aggregate
+  /// CoordinatorStats; shed commands fail fast as kSmrRejected completions.
+  /// Unreplicated modes (no-rep, lock server) have no multicast rings to
+  /// protect and ignore it.
+  AdmissionConfig admission;
 };
 
 class Deployment {
@@ -113,6 +120,12 @@ class Deployment {
   /// Aggregate response_stats over every replica.
   [[nodiscard]] ResponseStats response_stats() const;
 
+  /// Admission counters (zeros when admission is disabled or the mode is
+  /// unreplicated).
+  [[nodiscard]] AdmissionStats admission_stats() const;
+  /// The shared controller (nullptr when admission is disabled).
+  [[nodiscard]] AdmissionController* admission() { return admission_.get(); }
+
   /// Test hook: replica i in P-SMR mode (nullptr in other modes).  Exposes
   /// the per-worker merge-stream positions for progress assertions.
   [[nodiscard]] PsmrReplica* psmr_replica(std::size_t i) {
@@ -131,6 +144,7 @@ class Deployment {
   transport::Network net_;
   std::unique_ptr<multicast::Bus> bus_;
   std::shared_ptr<const CGFunction> client_cg_;
+  std::shared_ptr<AdmissionController> admission_;
 
   std::vector<std::unique_ptr<PsmrReplica>> psmr_;
   std::vector<std::unique_ptr<SpsmrReplica>> spsmr_;

@@ -38,6 +38,7 @@ enum MsgType : std::uint16_t {
   kSmrResponse = 30,    // replica worker -> client proxy
   kSmrDirect = 31,      // client -> unreplicated server (no-rep / lock server)
   kSmrResponseMany = 32, // replica -> client proxy: coalesced responses
+  kSmrRejected = 33,     // admission control -> client proxy: command shed
 };
 
 /// Envelope delivered to a Node's mailbox.

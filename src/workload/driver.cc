@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -25,45 +26,84 @@ std::int64_t process_cpu_us() {
 
 namespace {
 
+/// Per-client slice of RunResult's arrival accounting (see driver.h for the
+/// offered == submitted + shed_valve + dispatch_failed identity).
+struct ClientCounters {
+  std::uint64_t completed = 0;
+  std::uint64_t offered = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t shed_valve = 0;
+  std::uint64_t dispatch_failed = 0;
+  std::uint64_t shed_rejected = 0;
+};
+
 // One client thread: windowed pipeline, recording completions that land in
 // the measured interval.
 void client_loop(smr::Deployment& deployment, const KvWorkloadSpec& spec,
                  int index, std::atomic<bool>& stop,
                  std::atomic<std::int64_t>& measure_from_us,
-                 util::Histogram& latency,
-                 std::uint64_t& completed_in_window) {
+                 std::atomic<std::int64_t>& measure_until_us,
+                 util::Histogram& latency, ClientCounters& counters) {
   auto proxy = deployment.make_client();
   util::SplitMix64 rng(spec.seed * 7919 + static_cast<std::uint64_t>(index));
   util::Zipf zipf(spec.keys, spec.zipf_s);
 
+  auto in_window = [&](std::int64_t now_us) {
+    return detail::in_measured_window(
+        now_us, measure_from_us.load(std::memory_order_relaxed),
+        measure_until_us.load(std::memory_order_relaxed));
+  };
   auto pick_key = [&] {
     return spec.zipf ? zipf.sample(rng) : rng.next_below(spec.keys);
   };
-  auto submit_one = [&] {
+  auto submit_one = [&]() -> std::optional<smr::Seq> {
     int roll = static_cast<int>(rng.next_below(100));
     std::uint64_t k = pick_key();
     if (roll < spec.mix.read_pct) {
-      proxy->submit(kvstore::kKvRead, kvstore::encode_key(k));
-    } else if (roll < spec.mix.read_pct + spec.mix.update_pct) {
-      proxy->submit(kvstore::kKvUpdate, kvstore::encode_key_value(k, rng.next()));
-    } else if (roll <
-               spec.mix.read_pct + spec.mix.update_pct + spec.mix.insert_pct) {
+      return proxy->submit(kvstore::kKvRead, kvstore::encode_key(k));
+    }
+    if (roll < spec.mix.read_pct + spec.mix.update_pct) {
+      return proxy->submit(kvstore::kKvUpdate,
+                           kvstore::encode_key_value(k, rng.next()));
+    }
+    if (roll <
+        spec.mix.read_pct + spec.mix.update_pct + spec.mix.insert_pct) {
       // Inserts target a disjoint upper range so deletes can find them.
-      proxy->submit(kvstore::kKvInsert,
-                    kvstore::encode_key_value(spec.keys + rng.next_below(spec.keys),
-                                              rng.next()));
+      return proxy->submit(
+          kvstore::kKvInsert,
+          kvstore::encode_key_value(spec.keys + rng.next_below(spec.keys),
+                                    rng.next()));
+    }
+    return proxy->submit(
+        kvstore::kKvDelete,
+        kvstore::encode_key(spec.keys + rng.next_below(spec.keys)));
+  };
+  // One arrival: window membership is decided here, once, so the offered
+  // identity in driver.h holds exactly.  `valve_open` is the open-loop
+  // outstanding cap; a failed dispatch (shutdown, disconnected peer) is
+  // surfaced by submit() and counted instead of silently forgotten.
+  auto attempt = [&](bool valve_open) {
+    bool measured = in_window(util::now_us());
+    if (measured) ++counters.offered;
+    if (!valve_open) {
+      if (measured) ++counters.shed_valve;
+      return;
+    }
+    if (submit_one()) {
+      if (measured) ++counters.submitted;
     } else {
-      proxy->submit(kvstore::kKvDelete,
-                    kvstore::encode_key(spec.keys + rng.next_below(spec.keys)));
+      if (measured) ++counters.dispatch_failed;
     }
   };
 
   auto record = [&](const smr::ClientProxy::Completion& done) {
-    std::int64_t from = measure_from_us.load(std::memory_order_relaxed);
-    if (from != 0 && util::now_us() >= from) {
-      latency.record(static_cast<double>(done.latency_us));
-      ++completed_in_window;
+    if (!in_window(util::now_us())) return;
+    if (done.rejected) {
+      ++counters.shed_rejected;  // admission shed: not goodput, not latency
+      return;
     }
+    latency.record(static_cast<double>(done.latency_us));
+    ++counters.completed;
   };
 
   if (spec.target_rate_cps > 0) {
@@ -84,10 +124,8 @@ void client_loop(smr::Deployment& deployment, const KvWorkloadSpec& spec,
       std::int64_t now = util::now_us();
       while (static_cast<double>(now) >= next_due_us &&
              !stop.load(std::memory_order_relaxed)) {
-        if (proxy->outstanding() <
-            static_cast<std::size_t>(spec.max_outstanding)) {
-          submit_one();
-        }  // else: shed this arrival (safety valve, see KvWorkloadSpec)
+        attempt(proxy->outstanding() <
+                static_cast<std::size_t>(spec.max_outstanding));
         next_due_us += next_gap_us();
         now = util::now_us();
       }
@@ -101,7 +139,7 @@ void client_loop(smr::Deployment& deployment, const KvWorkloadSpec& spec,
     while (!stop.load(std::memory_order_relaxed)) {
       while (proxy->outstanding() < static_cast<std::size_t>(spec.window) &&
              !stop.load(std::memory_order_relaxed)) {
-        submit_one();
+        attempt(true);
       }
       auto done = proxy->poll(std::chrono::milliseconds(100));
       if (done) record(*done);
@@ -119,16 +157,17 @@ RunResult run_kv_workload(smr::Deployment& deployment,
                           const KvWorkloadSpec& spec) {
   std::atomic<bool> stop{false};
   std::atomic<std::int64_t> measure_from_us{0};
+  std::atomic<std::int64_t> measure_until_us{0};
   std::vector<util::Histogram> latencies(
       static_cast<std::size_t>(spec.clients));
-  std::vector<std::uint64_t> counts(static_cast<std::size_t>(spec.clients), 0);
+  std::vector<ClientCounters> counters(static_cast<std::size_t>(spec.clients));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(spec.clients));
   for (int c = 0; c < spec.clients; ++c) {
     threads.emplace_back([&, c] {
       client_loop(deployment, spec, c, stop, measure_from_us,
-                  latencies[static_cast<std::size_t>(c)],
-                  counts[static_cast<std::size_t>(c)]);
+                  measure_until_us, latencies[static_cast<std::size_t>(c)],
+                  counters[static_cast<std::size_t>(c)]);
     });
   }
 
@@ -139,7 +178,10 @@ RunResult run_kv_workload(smr::Deployment& deployment,
   smr::ResponseStats resp0 = deployment.response_stats();
   measure_from_us.store(t0);
   std::this_thread::sleep_for(std::chrono::duration<double>(spec.duration_s));
+  // Close the window before anything else: completions that drain after
+  // this instant (including the whole post-stop drain) must not count.
   std::int64_t t1 = util::now_us();
+  measure_until_us.store(t1);
   std::int64_t cpu1 = process_cpu_us();
   smr::ExecStats exec1 = deployment.exec_stats();
   smr::ResponseStats resp1 = deployment.response_stats();
@@ -148,8 +190,14 @@ RunResult run_kv_workload(smr::Deployment& deployment,
 
   RunResult res;
   for (int c = 0; c < spec.clients; ++c) {
+    const auto& cc = counters[static_cast<std::size_t>(c)];
     res.latency.merge(latencies[static_cast<std::size_t>(c)]);
-    res.completed += counts[static_cast<std::size_t>(c)];
+    res.completed += cc.completed;
+    res.offered += cc.offered;
+    res.submitted += cc.submitted;
+    res.shed_valve += cc.shed_valve;
+    res.dispatch_failed += cc.dispatch_failed;
+    res.shed_rejected += cc.shed_rejected;
   }
   double elapsed_s = static_cast<double>(t1 - t0) / 1e6;
   res.kcps = static_cast<double>(res.completed) / elapsed_s / 1e3;

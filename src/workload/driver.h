@@ -72,6 +72,19 @@ struct RunResult {
   util::Histogram latency;
   double cpu_pct = 0;  // process CPU time / wall time * 100
   std::uint64_t completed = 0;
+  /// Per-arrival accounting over the measured interval.  Window membership
+  /// is decided once per arrival, at submit time, so the identity
+  ///   offered == submitted + shed_valve + dispatch_failed
+  /// holds exactly.
+  std::uint64_t offered = 0;    // arrivals due inside the window
+  std::uint64_t submitted = 0;  // accepted into the proxy pipeline
+  std::uint64_t shed_valve = 0;  // dropped by the open-loop outstanding cap
+  std::uint64_t dispatch_failed = 0;  // transport rejected the dispatch
+  /// Commands shed by admission control (smr::AdmissionController) whose
+  /// kSmrRejected completion landed inside the window — counted at poll
+  /// time and excluded from `completed` and the latency histogram, so
+  /// goodput (kcps) measures real work only.
+  std::uint64_t shed_rejected = 0;
   /// Replica-side execution batching over the measured interval, aggregated
   /// across all service instances (see smr::ExecStats): how the delivered
   /// load actually reached the service — batches executed, commands per
@@ -82,6 +95,22 @@ struct RunResult {
   /// the clients — wire messages, responses per message, flush reasons.
   smr::ResponseStats response;
 };
+
+namespace detail {
+
+/// True when `now_us` falls inside the measured interval
+/// [from_us, until_us).  from_us == 0 means measurement has not started;
+/// until_us == 0 means it has not ended yet (the driver publishes the end
+/// bound the moment the measured sleep elapses, so completions of the
+/// drain phase no longer leak into the histogram).
+[[nodiscard]] inline bool in_measured_window(std::int64_t now_us,
+                                             std::int64_t from_us,
+                                             std::int64_t until_us) {
+  return from_us != 0 && now_us >= from_us &&
+         (until_us == 0 || now_us < until_us);
+}
+
+}  // namespace detail
 
 /// Drives the deployment with closed-loop clients and measures it.
 RunResult run_kv_workload(smr::Deployment& deployment,

@@ -1,0 +1,244 @@
+// Admission control (smr/admission.h): token-bucket and occupancy-shed
+// policy units with synthetic clocks/stats, the kSmrRejected round trip
+// through a real deployment's client proxy, and the dispatch-failure
+// regression — a failed submit() must never leave a permanently-pending
+// command.
+#include <gtest/gtest.h>
+
+#include "kvstore/kv_service.h"
+#include "test_support.h"
+
+namespace psmr::smr {
+namespace {
+
+using test_support::KvCluster;
+
+AdmissionConfig bucket_only(double rate_cps, double burst) {
+  AdmissionConfig cfg;
+  cfg.enabled = true;
+  cfg.client_rate_cps = rate_cps;
+  cfg.client_burst = burst;
+  cfg.occupancy_refresh_us = 0;  // sample the (absent) source every admit
+  return cfg;
+}
+
+TEST(TokenBucket, BurstThenThrottleThenRefill) {
+  // 100 cps, burst 3: the first 3 commands pass on the primed bucket, the
+  // 4th throttles, and 10ms later exactly one token (100 cps * 10ms) has
+  // come back.
+  AdmissionController ctl(bucket_only(100, 3), nullptr);
+  std::int64_t t = 1'000'000;
+  EXPECT_EQ(ctl.admit(1, t), Admit::kAdmit);
+  EXPECT_EQ(ctl.admit(1, t), Admit::kAdmit);
+  EXPECT_EQ(ctl.admit(1, t), Admit::kAdmit);
+  EXPECT_EQ(ctl.admit(1, t), Admit::kThrottled);
+  EXPECT_EQ(ctl.admit(1, t + 10'000), Admit::kAdmit);
+  EXPECT_EQ(ctl.admit(1, t + 10'000), Admit::kThrottled);
+
+  auto s = ctl.stats();
+  EXPECT_EQ(s.admitted, 4u);
+  EXPECT_EQ(s.throttled, 2u);
+  EXPECT_EQ(s.shed_overload, 0u);
+  EXPECT_EQ(s.rejected(), 2u);
+}
+
+TEST(TokenBucket, RefillIsCappedAtBurst) {
+  // A long idle period must not bank more than `burst` tokens.
+  AdmissionController ctl(bucket_only(1000, 2), nullptr);
+  std::int64_t t = 0;
+  EXPECT_EQ(ctl.admit(7, t), Admit::kAdmit);
+  EXPECT_EQ(ctl.admit(7, t), Admit::kAdmit);
+  EXPECT_EQ(ctl.admit(7, t), Admit::kThrottled);
+  t += 60'000'000;  // a minute: 60000 tokens earned, 2 kept
+  EXPECT_EQ(ctl.admit(7, t), Admit::kAdmit);
+  EXPECT_EQ(ctl.admit(7, t), Admit::kAdmit);
+  EXPECT_EQ(ctl.admit(7, t), Admit::kThrottled);
+}
+
+TEST(TokenBucket, DefaultBurstIsOneBatchWorth) {
+  // client_burst = 0 defaults to max(1, rate/100).
+  AdmissionController small(bucket_only(50, 0), nullptr);  // -> burst 1
+  EXPECT_EQ(small.admit(1, 0), Admit::kAdmit);
+  EXPECT_EQ(small.admit(1, 0), Admit::kThrottled);
+
+  AdmissionController big(bucket_only(1000, 0), nullptr);  // -> burst 10
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(big.admit(1, 0), Admit::kAdmit) << "token " << i;
+  }
+  EXPECT_EQ(big.admit(1, 0), Admit::kThrottled);
+}
+
+TEST(TokenBucket, ClientsHaveIndependentBuckets) {
+  // One aggressive client draining its bucket must not starve another.
+  AdmissionController ctl(bucket_only(100, 1), nullptr);
+  EXPECT_EQ(ctl.admit(1, 0), Admit::kAdmit);
+  EXPECT_EQ(ctl.admit(1, 0), Admit::kThrottled);
+  EXPECT_EQ(ctl.admit(2, 0), Admit::kAdmit);  // untouched bucket
+  EXPECT_EQ(ctl.admit(2, 0), Admit::kThrottled);
+}
+
+TEST(OccupancyShed, HysteresisEntersHighExitsLow) {
+  // Synthetic occupancy source: in-ring backlog = submit - decided.
+  paxos::CoordinatorStats stats;
+  AdmissionConfig cfg;
+  cfg.enabled = true;
+  cfg.shed_enter_occupancy = 100;
+  cfg.shed_exit_occupancy = 40;
+  cfg.occupancy_refresh_us = 0;
+  AdmissionController ctl(cfg, [&] { return stats; });
+
+  auto at_backlog = [&](std::uint64_t backlog, std::int64_t t) {
+    stats.submit_commands = 1000 + backlog;
+    stats.decided_commands = 1000;
+    return ctl.admit(1, t);
+  };
+
+  EXPECT_EQ(at_backlog(99, 1), Admit::kAdmit);   // below enter
+  EXPECT_EQ(at_backlog(100, 2), Admit::kShedOverload);  // enter
+  // Between exit and enter: hysteresis holds the valve closed.
+  EXPECT_EQ(at_backlog(41, 3), Admit::kShedOverload);
+  EXPECT_EQ(at_backlog(40, 4), Admit::kAdmit);   // exit
+  // Between the thresholds again, now from below: stays open.
+  EXPECT_EQ(at_backlog(99, 5), Admit::kAdmit);
+
+  auto s = ctl.stats();
+  EXPECT_EQ(s.shed_overload, 2u);
+  EXPECT_EQ(s.shed_entries, 1u);  // one transition into shedding
+  EXPECT_FALSE(s.shedding);
+  EXPECT_EQ(s.last_occupancy, 99u);
+}
+
+TEST(OccupancyShed, RefreshCadenceLimitsSampling) {
+  // With a 1ms cadence the source is consulted once per window, so a
+  // backlog spike between samples is only seen at the next refresh.
+  paxos::CoordinatorStats stats;
+  AdmissionConfig cfg;
+  cfg.enabled = true;
+  cfg.shed_enter_occupancy = 10;
+  cfg.shed_exit_occupancy = 5;
+  cfg.occupancy_refresh_us = 1000;
+  AdmissionController ctl(cfg, [&] { return stats; });
+
+  EXPECT_EQ(ctl.admit(1, 0), Admit::kAdmit);  // sample #1: backlog 0
+  stats.submit_commands = 50;                 // spike
+  EXPECT_EQ(ctl.admit(1, 500), Admit::kAdmit);  // inside cadence: stale 0
+  EXPECT_EQ(ctl.admit(1, 1000), Admit::kShedOverload);  // refreshed
+  EXPECT_EQ(ctl.stats().occupancy_samples, 2u);
+}
+
+TEST(OccupancyShed, LostCommandsNeverUnderflow) {
+  paxos::CoordinatorStats s;
+  s.submit_commands = 10;
+  s.decided_commands = 25;  // decided > submitted (duplicate deliveries)
+  EXPECT_EQ(AdmissionController::occupancy_of(s), 0u);
+}
+
+// --- kSmrRejected round trip through a real deployment -------------------
+
+TEST(AdmissionRoundTrip, ThrottledCommandCompletesAsRejected) {
+  // burst 2, negligible refill: commands 1-2 execute, 3 completes through
+  // poll() with Completion::rejected and the kThrottled verdict byte, and
+  // the pipeline is empty afterwards (no wedged pending entry).
+  auto cfg = test_support::kv_config(smr::Mode::kPsmr, 2, /*initial_keys=*/64);
+  cfg.admission.enabled = true;
+  cfg.admission.client_rate_cps = 0.001;  // ~no refill inside the test
+  cfg.admission.client_burst = 2;
+  test_support::Cluster cluster(std::move(cfg));
+  auto proxy = cluster->make_client();
+
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        proxy->submit(kvstore::kKvRead, kvstore::encode_key(1)).has_value());
+  }
+  int executed = 0;
+  int rejected = 0;
+  for (int i = 0; i < 3; ++i) {
+    auto done = proxy->poll(std::chrono::seconds(10));
+    ASSERT_TRUE(done.has_value()) << "completion " << i << " never arrived";
+    if (done->rejected) {
+      ++rejected;
+      EXPECT_EQ(ClientProxy::rejection_verdict(*done), Admit::kThrottled);
+    } else {
+      ++executed;
+    }
+  }
+  EXPECT_EQ(executed, 2);
+  EXPECT_EQ(rejected, 1);
+  EXPECT_EQ(proxy->outstanding(), 0u);
+
+  auto s = cluster->admission_stats();
+  EXPECT_EQ(s.admitted, 2u);
+  EXPECT_EQ(s.throttled, 1u);
+}
+
+TEST(AdmissionRoundTrip, CallFailsFastOnShedCommand) {
+  // call() on a shed command returns nullopt quickly (one loopback hop)
+  // instead of burning its 10s timeout.
+  auto cfg = test_support::kv_config(smr::Mode::kSpsmr, 2, /*initial_keys=*/64);
+  cfg.admission.enabled = true;
+  cfg.admission.client_rate_cps = 0.001;
+  cfg.admission.client_burst = 1;
+  test_support::Cluster cluster(std::move(cfg));
+  auto proxy = cluster->make_client();
+
+  EXPECT_TRUE(proxy->call(kvstore::kKvRead, kvstore::encode_key(1))
+                  .has_value());  // burst token
+  auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(
+      proxy->call(kvstore::kKvRead, kvstore::encode_key(1)).has_value());
+  auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::seconds(5)) << "shed call did not fail fast";
+  EXPECT_EQ(proxy->outstanding(), 0u);
+}
+
+TEST(AdmissionRoundTrip, DisabledConfigNeverSheds) {
+  // Deployment with admission disabled builds no controller at all.
+  KvCluster cluster(smr::Mode::kPsmr, 2, /*initial_keys=*/64);
+  EXPECT_EQ(cluster->admission(), nullptr);
+  auto s = cluster->admission_stats();
+  EXPECT_EQ(s.admitted, 0u);
+  EXPECT_EQ(s.rejected(), 0u);
+}
+
+// --- Dispatch-failure regression ------------------------------------------
+// src/smr/client.cc used to ignore dispatch()'s return: a send the
+// transport rejected (shutdown, disconnected peer) still went into
+// pending_, wedging outstanding() forever.  submit() now surfaces the
+// failure as nullopt and pends nothing.
+
+TEST(DispatchFailure, DirectModeSubmitSurfacesDisconnectedServer) {
+  transport::Network net;
+  auto [server, serverbox] = net.register_node();
+  ClientProxy proxy(net, server, /*id=*/1);
+  net.disconnect(server);
+
+  EXPECT_FALSE(proxy.submit(1, util::Buffer{1}).has_value());
+  EXPECT_EQ(proxy.outstanding(), 0u);  // nothing pends, nothing to wedge
+
+  // The proxy recovers once the server is reachable again.
+  net.reconnect(server);
+  EXPECT_TRUE(proxy.submit(1, util::Buffer{1}).has_value());
+  EXPECT_EQ(proxy.outstanding(), 1u);
+}
+
+TEST(DispatchFailure, SubmitAfterShutdownPendsNothing) {
+  auto cfg = test_support::kv_config(smr::Mode::kPsmr, 2, /*initial_keys=*/8);
+  cfg.admission.enabled = true;  // also cover the rejection-loopback branch
+  cfg.admission.client_rate_cps = 0.001;
+  cfg.admission.client_burst = 1;
+  test_support::Cluster cluster(std::move(cfg));
+  auto proxy = cluster->make_client();
+  cluster->stop();  // network shut down under the live proxy
+
+  // Admitted path: dispatch fails -> nullopt, nothing pending.
+  EXPECT_FALSE(
+      proxy->submit(kvstore::kKvRead, kvstore::encode_key(1)).has_value());
+  // Shed path: the rejection loopback cannot be delivered either -> the
+  // provisional pending entry must be rolled back, not leaked.
+  EXPECT_FALSE(
+      proxy->submit(kvstore::kKvRead, kvstore::encode_key(1)).has_value());
+  EXPECT_EQ(proxy->outstanding(), 0u);
+}
+
+}  // namespace
+}  // namespace psmr::smr

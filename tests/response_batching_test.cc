@@ -377,9 +377,9 @@ Response reply_to(const Command& cmd, std::uint8_t fill) {
 
 TEST(ProxyDemux, MultiResponseFrameCompletesSeveralCommands) {
   ProxyRig rig;
-  rig.proxy->submit(1, {});
-  rig.proxy->submit(1, {});
-  rig.proxy->submit(1, {});
+  ASSERT_TRUE(rig.proxy->submit(1, {}).has_value());
+  ASSERT_TRUE(rig.proxy->submit(1, {}).has_value());
+  ASSERT_TRUE(rig.proxy->submit(1, {}).has_value());
   std::vector<Command> cmds;
   for (int i = 0; i < 3; ++i) cmds.push_back(rig.recv());
   EXPECT_EQ(rig.proxy->outstanding(), 3u);
@@ -404,8 +404,8 @@ TEST(ProxyDemux, MultiResponseFrameCompletesSeveralCommands) {
 
 TEST(ProxyDemux, DuplicateReplicaFramesAreAbsorbed) {
   ProxyRig rig;
-  rig.proxy->submit(1, {});
-  rig.proxy->submit(1, {});
+  ASSERT_TRUE(rig.proxy->submit(1, {}).has_value());
+  ASSERT_TRUE(rig.proxy->submit(1, {}).has_value());
   std::vector<Command> cmds = {rig.recv(), rig.recv()};
   auto frame = encode_response_batch(
       encode_all({reply_to(cmds[0], 1), reply_to(cmds[1], 2)}));
@@ -423,7 +423,7 @@ TEST(ProxyDemux, DuplicateReplicaFramesAreAbsorbed) {
 
 TEST(ProxyDemux, MalformedFrameIsIgnoredNotFatal) {
   ProxyRig rig;
-  rig.proxy->submit(1, {});
+  ASSERT_TRUE(rig.proxy->submit(1, {}).has_value());
   Command cmd = rig.recv();
   util::Buffer junk{0xde, 0xad, 0xbe};
   rig.net.send(rig.server, cmd.reply_to, transport::MsgType::kSmrResponseMany,
@@ -438,7 +438,7 @@ TEST(ProxyDemux, MalformedFrameIsIgnoredNotFatal) {
 
 TEST(ProxyDemux, MixedKnownAndUnknownSeqsCompleteOnlyKnown) {
   ProxyRig rig;
-  rig.proxy->submit(1, {});
+  ASSERT_TRUE(rig.proxy->submit(1, {}).has_value());
   Command cmd = rig.recv();
   Response phantom = make_response(cmd.client, cmd.seq + 1000, 9);
   auto frame = encode_response_batch(

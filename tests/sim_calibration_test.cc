@@ -240,6 +240,95 @@ TEST(Calibration, ShardSweepGateHoldsInTheSimulator) {
   EXPECT_GT(sc.gate_shards, sc.baseline_shards);
 }
 
+TEST(Calibration, AdmissionGateHoldsInTheOverloadModel) {
+  // The CI gate over BENCH_latency.json (bench_fig9_latency_rate) asserts
+  // that at overload_factor x the knee's offered rate the admission valve
+  // holds goodput >= min_goodput_vs_knee x the knee goodput with a bounded
+  // p99, while the unvalved system collapses below max_goodput_off_vs_knee.
+  // The fluid model is deterministic with a fixed virtual duration, so the
+  // exact same relations must hold here, bench flags or not.
+  AdmissionCalibration ac;
+  OverloadConfig base;
+  base.capacity_kcps = ac.capacity_kcps;
+  base.overload_penalty = ac.overload_penalty;
+  base.shed_enter_occupancy = ac.shed_enter_occupancy;
+  base.shed_exit_occupancy = ac.shed_exit_occupancy;
+
+  // The bench's fixed sweep grid (fractions of calibrated capacity).
+  std::vector<OverloadPoint> off_curve;
+  for (double frac : {0.25, 0.5, 0.7, 0.8, 0.9, 0.95, 1.0, 1.1, 1.25, 1.5,
+                      1.75, 2.0}) {
+    auto cfg = base;
+    cfg.admission = false;
+    off_curve.push_back(simulate_overload(cfg, frac * ac.capacity_kcps));
+  }
+  std::size_t knee = knee_index(off_curve, ac.knee_headroom);
+  const auto& knee_pt = off_curve[knee];
+  // The knee sits where the calibration pinned it.
+  EXPECT_NEAR(knee_pt.offered_kcps, ac.knee_offered_kcps,
+              ac.knee_offered_kcps * 0.01);
+  EXPECT_NEAR(knee_pt.goodput_kcps, ac.knee_goodput_kcps,
+              ac.knee_goodput_kcps * 0.01);
+
+  const double probe = ac.overload_factor * knee_pt.offered_kcps;
+  auto off_cfg = base;
+  off_cfg.admission = false;
+  auto probe_off = simulate_overload(off_cfg, probe);
+  auto on_cfg = base;
+  on_cfg.admission = true;
+  auto probe_on = simulate_overload(on_cfg, probe);
+
+  // The three CI gates, asserted from the model itself.
+  EXPECT_GE(probe_on.goodput_kcps,
+            ac.min_goodput_vs_knee * knee_pt.goodput_kcps)
+      << "admission-on goodput at 2x knee fell below the CI gate";
+  EXPECT_LE(probe_off.goodput_kcps,
+            ac.max_goodput_off_vs_knee * knee_pt.goodput_kcps)
+      << "unvalved overload no longer collapses — the gate's contrast is gone";
+  EXPECT_LE(probe_on.p99_latency_us, ac.max_p99_on_us)
+      << "admission-on p99 at 2x knee is no longer bounded";
+
+  // And the pinned record itself stays within 1% of what the model yields.
+  EXPECT_NEAR(probe_on.goodput_kcps, ac.on_goodput_2x_kcps,
+              ac.on_goodput_2x_kcps * 0.01);
+  EXPECT_NEAR(probe_off.goodput_kcps, ac.off_goodput_2x_kcps,
+              ac.off_goodput_2x_kcps * 0.01);
+  EXPECT_NEAR(probe_on.p99_latency_us, ac.on_p99_2x_us,
+              ac.on_p99_2x_us * 0.02);
+  EXPECT_NEAR(probe_off.p99_latency_us, ac.off_p99_2x_us,
+              ac.off_p99_2x_us * 0.02);
+
+  // Sanity on the shape: the valve sheds a substantial fraction at 2x
+  // knee (roughly half the offered load), and the unvalved run ends with a
+  // far larger backlog than the valve's cap.
+  EXPECT_GT(probe_on.shed_fraction, 0.3);
+  EXPECT_LT(probe_on.final_backlog, 2.0 * ac.shed_enter_occupancy);
+  EXPECT_GT(probe_off.final_backlog, 10.0 * ac.shed_enter_occupancy);
+}
+
+TEST(Calibration, OverloadModelIsStableBelowTheKnee) {
+  // Below saturation the valve must be invisible: identical goodput, no
+  // shedding, latency at the unloaded floor.
+  AdmissionCalibration ac;
+  OverloadConfig cfg;
+  cfg.capacity_kcps = ac.capacity_kcps;
+  cfg.overload_penalty = ac.overload_penalty;
+  for (double frac : {0.25, 0.5, 0.8}) {
+    auto off_cfg = cfg;
+    off_cfg.admission = false;
+    auto off = simulate_overload(off_cfg, frac * ac.capacity_kcps);
+    auto on_cfg = cfg;
+    on_cfg.admission = true;
+    auto on = simulate_overload(on_cfg, frac * ac.capacity_kcps);
+    EXPECT_NEAR(off.goodput_kcps, frac * ac.capacity_kcps,
+                frac * ac.capacity_kcps * 0.01);
+    EXPECT_EQ(on.shed_fraction, 0.0);
+    EXPECT_NEAR(on.goodput_kcps, off.goodput_kcps, 1e-9);
+    EXPECT_NEAR(off.p50_latency_us, cfg.base_latency_us,
+                cfg.base_latency_us * 0.1);
+  }
+}
+
 TEST(Calibration, ExecCostScalesSaturatedThroughputInversely) {
   // Round-trip sensitivity: doubling the calibrated execution cost must
   // halve saturated single-thread throughput (within closed-loop noise).

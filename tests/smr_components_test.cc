@@ -47,7 +47,7 @@ TEST(ClientProxy, AbsorbsDuplicateResponses) {
   transport::Network net;
   auto [server, serverbox] = net.register_node();
   ClientProxy proxy(net, server, /*id=*/9);
-  Seq seq = proxy.submit(1, util::Buffer{1});
+  Seq seq = proxy.submit(1, util::Buffer{1}).value();
 
   // Fake two replica responses for the same seq.
   Response resp;
@@ -72,7 +72,7 @@ TEST(ClientProxy, IgnoresMalformedAndForeignResponses) {
   transport::Network net;
   auto [server, serverbox] = net.register_node();
   ClientProxy proxy(net, server, 9);
-  Seq seq = proxy.submit(1, {});
+  Seq seq = proxy.submit(1, {}).value();
 
   net.send(server, proxy.node(), transport::MsgType::kSmrResponse,
            util::Buffer{1, 2});  // garbage

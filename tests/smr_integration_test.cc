@@ -150,8 +150,9 @@ TEST(Psmr, WindowedPipelineCompletesEverything) {
   std::set<Seq> seen;
   while (completed < kTotal) {
     while (submitted < kTotal && proxy->outstanding() < kWindow) {
-      proxy->submit(kvstore::kKvRead,
-                    kvstore::encode_key(rng.next_below(1024)));
+      ASSERT_TRUE(proxy->submit(kvstore::kKvRead,
+                                kvstore::encode_key(rng.next_below(1024)))
+                      .has_value());
       ++submitted;
     }
     auto done = proxy->poll(std::chrono::seconds(10));

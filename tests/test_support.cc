@@ -163,14 +163,17 @@ std::uint64_t run_disjoint_kv_workload(smr::Deployment& d, int clients,
       std::uint64_t own = static_cast<std::uint64_t>(t) * 100 +
                           static_cast<std::uint64_t>(i % 100);
       if (i % 4 == 3) {
-        proxy->submit(kvstore::kKvUpdate,
-                      kvstore::encode_key_value(
-                          own, static_cast<std::uint64_t>(i) * 1000 +
-                                   static_cast<std::uint64_t>(t)));
+        EXPECT_TRUE(proxy
+                        ->submit(kvstore::kKvUpdate,
+                                 kvstore::encode_key_value(
+                                     own, static_cast<std::uint64_t>(i) * 1000 +
+                                              static_cast<std::uint64_t>(t)))
+                        .has_value());
       } else {
         std::uint64_t any = static_cast<std::uint64_t>((i * 37 + t * 11) %
                                                        (clients * 100));
-        proxy->submit(kvstore::kKvRead, kvstore::encode_key(any));
+        EXPECT_TRUE(proxy->submit(kvstore::kKvRead, kvstore::encode_key(any))
+                        .has_value());
       }
     };
     while (completed < ops) {

@@ -115,6 +115,71 @@ TEST(Histogram, CdfIsMonotonic) {
   EXPECT_NEAR(cdf.back().second, 1.0, 1e-9);
 }
 
+TEST(Histogram, QuantileEdgeCases) {
+  Histogram empty;
+  EXPECT_EQ(empty.quantile(0.0), 0.0);
+  EXPECT_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_EQ(empty.quantile(1.0), 0.0);
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.mean(), 0.0);
+
+  Histogram single;
+  single.record(42.0);
+  // Every quantile of a one-sample distribution is that sample (within the
+  // bucket's ~2% midpoint error).
+  EXPECT_NEAR(single.quantile(0.0), 42.0, 42.0 * 0.02);
+  EXPECT_NEAR(single.quantile(0.5), 42.0, 42.0 * 0.02);
+  EXPECT_NEAR(single.quantile(1.0), 42.0, 42.0 * 0.02);
+
+  Histogram spread;
+  for (int i = 1; i <= 1000; ++i) spread.record(i);
+  // q=0 anchors at the minimum, q=1 at the maximum, and order holds.
+  EXPECT_NEAR(spread.quantile(0.0), 1.0, 0.1);
+  EXPECT_NEAR(spread.quantile(1.0), 1000.0, 1000.0 * 0.02);
+  EXPECT_LE(spread.quantile(0.0), spread.quantile(0.5));
+  EXPECT_LE(spread.quantile(0.5), spread.quantile(1.0));
+}
+
+TEST(Histogram, QuantilesSurviveMerge) {
+  // Merging a low-half and a high-half recorder must reproduce the
+  // quantiles of recording the full range into one histogram.
+  Histogram low, high, combined;
+  for (int i = 1; i <= 500; ++i) {
+    low.record(i);
+    combined.record(i);
+  }
+  for (int i = 501; i <= 1000; ++i) {
+    high.record(i);
+    combined.record(i);
+  }
+  low.merge(high);
+  EXPECT_EQ(low.count(), combined.count());
+  for (double q : {0.0, 0.25, 0.5, 0.75, 0.99, 1.0}) {
+    EXPECT_NEAR(low.quantile(q), combined.quantile(q), 1e-9) << "q=" << q;
+  }
+  // Merging an empty histogram is a no-op.
+  Histogram empty;
+  double before = low.quantile(0.5);
+  low.merge(empty);
+  EXPECT_EQ(low.quantile(0.5), before);
+}
+
+TEST(Histogram, RecordNMatchesRepeatedRecord) {
+  Histogram weighted, repeated;
+  weighted.record_n(250.0, 1000);
+  weighted.record_n(9000.0, 10);
+  weighted.record_n(123.0, 0);  // zero weight: no sample, no min/max update
+  for (int i = 0; i < 1000; ++i) repeated.record(250.0);
+  for (int i = 0; i < 10; ++i) repeated.record(9000.0);
+  EXPECT_EQ(weighted.count(), repeated.count());
+  EXPECT_NEAR(weighted.mean(), repeated.mean(), 1e-9);
+  EXPECT_EQ(weighted.min(), repeated.min());
+  EXPECT_EQ(weighted.max(), repeated.max());
+  for (double q : {0.5, 0.99, 1.0}) {
+    EXPECT_NEAR(weighted.quantile(q), repeated.quantile(q), 1e-9);
+  }
+}
+
 TEST(Histogram, RelativeErrorBounded) {
   Histogram h;
   for (double v : {1.0, 10.0, 100.0, 1000.0, 123456.0}) {

@@ -177,6 +177,79 @@ TEST(WorkloadDriver, OpenLoopOverloadShedsAtOutstandingCap) {
   EXPECT_LE(little, outstanding_bound * 1.25);
 }
 
+TEST(WorkloadDriver, MeasuredWindowHasBothBounds) {
+  // Regression: record() used to check only the start of the measured
+  // interval, so completions landing during the post-measurement drain
+  // (arbitrarily long under backlog) inflated the histogram and counters.
+  using detail::in_measured_window;
+  EXPECT_FALSE(in_measured_window(100, 0, 0));    // measurement not started
+  EXPECT_FALSE(in_measured_window(99, 100, 0));   // before the start
+  EXPECT_TRUE(in_measured_window(100, 100, 0));  // started, no end yet
+  EXPECT_TRUE(in_measured_window(1'000'000'000'000, 100, 0));  // still open
+  EXPECT_TRUE(in_measured_window(199, 100, 200));
+  EXPECT_FALSE(in_measured_window(200, 100, 200));  // end is exclusive
+  EXPECT_FALSE(in_measured_window(1'000'000'000'000, 100, 200));  // drain
+}
+
+TEST(WorkloadDriver, MeasuredCompletionsRespectTheWindowEnd) {
+  // End-to-end version of the regression: the measured completion count
+  // must be consistent with the measured interval's length, not with the
+  // (longer) interval including the drain.  With the window bug, every
+  // drain completion after t1 counted, so completed >> kcps * duration.
+  test_support::KvCluster cluster(smr::Mode::kPsmr, 2, /*initial_keys=*/128);
+  auto spec = quick_spec(128);
+  spec.duration_s = 0.25;
+  auto res = run_kv_workload(cluster.deployment(), spec);
+  ASSERT_GT(res.completed, 0u);
+  // kcps is derived as completed / elapsed: the identity only holds when
+  // both come from the same bounded interval.
+  EXPECT_NEAR(res.kcps * 1e3 * 0.25, static_cast<double>(res.completed),
+              static_cast<double>(res.completed) * 0.1);
+  // Closed loop submits only with window room: nothing is ever shed.
+  EXPECT_EQ(res.shed_valve, 0u);
+  EXPECT_EQ(res.dispatch_failed, 0u);
+  EXPECT_EQ(res.offered, res.submitted);
+}
+
+TEST(WorkloadDriver, OfferedAccountingIdentityHolds) {
+  // Open loop over capacity with a tight valve: offered arrivals must be
+  // fully partitioned into submitted + shed_valve + dispatch_failed.
+  test_support::KvCluster cluster(smr::Mode::kPsmr, 2, /*initial_keys=*/64);
+  auto spec = quick_spec(64);
+  spec.target_rate_cps = 50'000;  // far past this host's capacity
+  spec.poisson_arrivals = true;
+  spec.max_outstanding = 32;
+  spec.duration_s = 0.3;
+  auto res = run_kv_workload(cluster.deployment(), spec);
+  ASSERT_GT(res.offered, 0u);
+  EXPECT_EQ(res.offered, res.submitted + res.shed_valve + res.dispatch_failed);
+  EXPECT_GT(res.shed_valve, 0u);  // the cap binds at this rate
+  EXPECT_EQ(res.dispatch_failed, 0u);  // healthy transport all along
+}
+
+TEST(WorkloadDriver, AdmissionShedsAreCountedNotMeasured) {
+  // Driver + admission: shed completions surface in shed_rejected, and are
+  // excluded from goodput (completed) and the latency histogram.
+  auto cfg = test_support::kv_config(smr::Mode::kPsmr, 2, /*initial_keys=*/64);
+  cfg.admission.enabled = true;
+  cfg.admission.client_rate_cps = 200;  // well under the offered rate
+  cfg.admission.client_burst = 10;
+  test_support::Cluster cluster(std::move(cfg));
+  auto spec = quick_spec(64);
+  spec.clients = 2;
+  spec.target_rate_cps = 4000;
+  spec.duration_s = 0.4;
+  auto res = run_kv_workload(cluster.deployment(), spec);
+  ASSERT_GT(res.completed, 0u);
+  EXPECT_GT(res.shed_rejected, 0u);
+  EXPECT_EQ(res.latency.count(), res.completed);  // sheds not in histogram
+  // The bucket caps goodput near 2 clients x 200 cps over the window;
+  // generous upper bound, but far below the 4000 cps offered.
+  EXPECT_LT(res.kcps * 1e3, 2000.0);
+  auto s = cluster->admission_stats();
+  EXPECT_GT(s.throttled, 0u);
+}
+
 TEST(WorkloadDriver, ProcessCpuCounterIsMonotonic) {
   std::int64_t a = process_cpu_us();
   // Burn a little CPU so the counter visibly advances.
