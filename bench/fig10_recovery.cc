@@ -1,0 +1,230 @@
+// Time-to-recovery after a replica crash — the failover figure the paper
+// doesn't have.  Figures 3–8 all measure steady state; this bench measures
+// what the checkpoint/truncation/catch-up machinery (smr/snapshot.h,
+// replica_psmr.h) buys when a replica actually dies: the time from restart
+// until the replica has reconverged with its peers and serves at full
+// throughput again.
+//
+// Expected shape (pinned in sim::RecoveryCalibration): with periodic
+// checkpoints the restarted replica installs a snapshot and replays only a
+// *bounded* suffix (residual since the last checkpoint + the outage's
+// backlog), so recovery time is a small multiple of the downtime; without
+// checkpoints it replays the entire history, so recovery scales with uptime
+// instead of downtime and is several times slower at the gated probe point.
+//
+// Default mode runs the deterministic recovery fluid model
+// (sim::simulate_recovery) on a FIXED grid and virtual parameters — --quick
+// changes nothing, so the CI gate over BENCH_recovery.json and
+// sim_calibration_test always agree.  --real additionally performs a live
+// crash/restart on the real runtime (checkpointing deployment, kill replica
+// 1 mid-workload, restart from a peer snapshot, wait for digest
+// convergence); real numbers are reported, not gated.
+//
+// --json FILE writes BENCH_recovery.json: per-downtime points for snapshot
+// and full-replay recovery, the probe summary and the gate verdict.
+#include "bench_common.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+using namespace psmr;
+using namespace psmr::bench;
+
+namespace {
+
+struct SweepPoint {
+  double downtime_us = 0;
+  sim::RecoveryPoint snap;
+  sim::RecoveryPoint full;
+};
+
+void json_point(std::FILE* f, const char* key, const sim::RecoveryPoint& pt) {
+  std::fprintf(f,
+               "\"%s\": {\"install_us\": %.1f, \"replay_us\": %.1f, "
+               "\"recovery_us\": %.1f, \"installed_cmds\": %.0f, "
+               "\"replayed_cmds\": %.0f, \"recovered\": %s}",
+               key, pt.install_us, pt.replay_us, pt.recovery_us,
+               pt.installed_cmds, pt.replayed_cmds,
+               pt.recovered ? "true" : "false");
+}
+
+/// Live crash/restart probe on the real runtime (reported, not gated).
+void run_real_probe(const Options& opt) {
+  auto dcfg = real_kv_config(smr::Mode::kPsmr, /*mpl=*/2, /*keys=*/50'000);
+  dcfg.checkpoint.enabled = true;
+  // Small enough that checkpoints fire even in a --quick run's short
+  // phase 1, so the restart exercises snapshot install, not full replay.
+  dcfg.checkpoint.interval_commands = 500;
+  smr::Deployment d(std::move(dcfg));
+  d.start();
+
+  workload::KvWorkloadSpec spec;
+  spec.clients = 2;
+  spec.window = 20;
+  spec.duration_s = opt.quick ? 0.3 : 1.0;
+  spec.warmup_s = 0.1;
+  spec.mix = workload::KvMix{50, 30, 10, 10};
+  spec.keys = 50'000;
+
+  // Phase 1: accumulate state and checkpoints, then crash replica 1.
+  workload::run_kv_workload(d, spec);
+  d.crash_replica(1);
+  // Phase 2: the log grows while replica 1 is down.
+  auto r2 = workload::run_kv_workload(d, spec);
+  const std::uint64_t live_executed = d.executed(0);
+
+  // Phase 3: restart and time the catch-up to digest convergence.
+  auto t0 = std::chrono::steady_clock::now();
+  bool restarted = d.restart_replica(1);
+  bool converged = false;
+  while (restarted) {
+    if (d.executed(1) >= live_executed &&
+        d.state_digest(1) == d.state_digest(0)) {
+      converged = true;
+      break;
+    }
+    auto waited = std::chrono::steady_clock::now() - t0;
+    if (waited > std::chrono::seconds(30)) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  auto recovery_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+  std::printf(
+      "\n--- real runtime probe ---\n"
+      "workload %.1f Kcps, live replica at %llu cmds, checkpoints %llu\n"
+      "restart: %s, converged: %s, recovery %.1f ms\n",
+      r2.kcps, static_cast<unsigned long long>(live_executed),
+      static_cast<unsigned long long>(d.checkpoints_taken(0)),
+      restarted ? "ok" : "FAILED", converged ? "yes" : "NO",
+      recovery_us / 1000.0);
+  d.stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt = Options::parse(argc, argv);
+  const sim::RecoveryCalibration cal;
+
+  std::printf("=== Recovery time vs downtime (replica crash/restart) ===\n");
+  std::printf(
+      "recovery model: capacity %.0f Kcps, offered %.0f Kcps, uptime %.1fs, "
+      "checkpoint every %.0f cmds, install %.0f Kcps\n",
+      cal.capacity_kcps, cal.offered_kcps, cal.uptime_us / 1e6,
+      cal.checkpoint_interval_cmds, cal.install_kcps);
+
+  sim::RecoveryConfig base;
+  base.capacity_kcps = cal.capacity_kcps;
+  base.offered_kcps = cal.offered_kcps;
+  base.uptime_us = cal.uptime_us;
+  base.checkpoint_interval_cmds = cal.checkpoint_interval_cmds;
+  base.install_kcps = cal.install_kcps;
+
+  // Fixed sweep grid.  The model costs nanoseconds per point, so --quick
+  // never trims it — the probe and gate numbers must not depend on flags.
+  const double downtimes_us[] = {100'000, 250'000, 500'000,
+                                 1'000'000, 2'000'000};
+  std::vector<SweepPoint> points;
+  std::printf("%10s | %12s %12s %9s | %12s %9s\n", "downtime", "snap install",
+              "snap replay", "total", "full replay", "ratio");
+  for (double dt : downtimes_us) {
+    SweepPoint p;
+    p.downtime_us = dt;
+    auto snap_cfg = base;
+    snap_cfg.downtime_us = dt;
+    snap_cfg.snapshot = true;
+    p.snap = sim::simulate_recovery(snap_cfg);
+    auto full_cfg = base;
+    full_cfg.downtime_us = dt;
+    full_cfg.snapshot = false;
+    p.full = sim::simulate_recovery(full_cfg);
+    std::printf("%8.0fms | %10.1fms %10.1fms %7.1fms | %10.1fms %8.2fx\n",
+                dt / 1000, p.snap.install_us / 1000, p.snap.replay_us / 1000,
+                p.snap.recovery_us / 1000, p.full.recovery_us / 1000,
+                p.full.recovery_us / p.snap.recovery_us);
+    points.push_back(p);
+  }
+
+  // Gated probe: the calibration's downtime point.
+  auto snap_cfg = base;
+  snap_cfg.downtime_us = cal.probe_downtime_us;
+  snap_cfg.snapshot = true;
+  auto probe_snap = sim::simulate_recovery(snap_cfg);
+  auto full_cfg = snap_cfg;
+  full_cfg.snapshot = false;
+  auto probe_full = sim::simulate_recovery(full_cfg);
+
+  const double recovery_vs_downtime =
+      probe_snap.recovery_us / cal.probe_downtime_us;
+  const double full_replay_ratio =
+      probe_full.recovery_us / probe_snap.recovery_us;
+  bool all_recovered = true;
+  for (const auto& p : points) all_recovered &= p.snap.recovered;
+  const bool pass = recovery_vs_downtime <= cal.max_recovery_vs_downtime &&
+                    full_replay_ratio >= cal.min_full_replay_ratio &&
+                    all_recovered;
+  std::printf(
+      "probe at %.0fms downtime: snapshot %.1fms (%.2fx downtime), "
+      "full replay %.1fms (%.2fx snapshot)\n",
+      cal.probe_downtime_us / 1000, probe_snap.recovery_us / 1000,
+      recovery_vs_downtime, probe_full.recovery_us / 1000, full_replay_ratio);
+  std::printf(
+      "gate: snapshot <= %.2fx downtime, full replay >= %.2fx snapshot, "
+      "all snapshot points recover: %s\n",
+      cal.max_recovery_vs_downtime, cal.min_full_replay_ratio,
+      pass ? "PASS" : "FAIL");
+
+  if (opt.real) run_real_probe(opt);
+
+  if (!opt.json.empty()) {
+    std::FILE* f = std::fopen(opt.json.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", opt.json.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"recovery\": {\n"
+                 "    \"mode\": \"sim\",\n"
+                 "    \"capacity_kcps\": %.1f,\n"
+                 "    \"offered_kcps\": %.1f,\n"
+                 "    \"uptime_us\": %.0f,\n"
+                 "    \"checkpoint_interval_cmds\": %.0f,\n"
+                 "    \"install_kcps\": %.1f,\n"
+                 "    \"points\": [",
+                 cal.capacity_kcps, cal.offered_kcps, cal.uptime_us,
+                 cal.checkpoint_interval_cmds, cal.install_kcps);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      std::fprintf(f, "%s\n      {\"downtime_us\": %.0f, ", i ? "," : "",
+                   points[i].downtime_us);
+      json_point(f, "snapshot", points[i].snap);
+      std::fprintf(f, ", ");
+      json_point(f, "full_replay", points[i].full);
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f,
+                 "\n    ],\n"
+                 "    \"probe\": {\"downtime_us\": %.0f,\n      ",
+                 cal.probe_downtime_us);
+    json_point(f, "snapshot", probe_snap);
+    std::fprintf(f, ",\n      ");
+    json_point(f, "full_replay", probe_full);
+    std::fprintf(f,
+                 "},\n"
+                 "    \"gates\": {\n"
+                 "      \"max_recovery_vs_downtime\": %.2f,\n"
+                 "      \"recovery_vs_downtime\": %.3f,\n"
+                 "      \"min_full_replay_ratio\": %.2f,\n"
+                 "      \"full_replay_ratio\": %.3f,\n"
+                 "      \"all_recovered\": %s,\n"
+                 "      \"pass\": %s\n"
+                 "    }\n  }\n}\n",
+                 cal.max_recovery_vs_downtime, recovery_vs_downtime,
+                 cal.min_full_replay_ratio, full_replay_ratio,
+                 all_recovered ? "true" : "false", pass ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", opt.json.c_str());
+  }
+  return pass ? 0 : 1;
+}

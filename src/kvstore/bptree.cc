@@ -20,6 +20,12 @@ BPlusTree::BPlusTree() : root_(new Leaf()) {}
 
 BPlusTree::~BPlusTree() { destroy(root_); }
 
+void BPlusTree::clear() {
+  destroy(root_);
+  root_ = new Leaf();
+  size_ = 0;
+}
+
 void BPlusTree::destroy(Node* node) {
   if (!node->leaf) {
     auto* inner = static_cast<Inner*>(node);

@@ -78,6 +78,11 @@ class BPlusTree {
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] bool empty() const { return size_ == 0; }
 
+  /// Discards every entry, resetting to a freshly constructed tree.  Same
+  /// concurrency contract as insert()/erase().  Used by snapshot restore to
+  /// replace the whole state.
+  void clear();
+
   /// Leaf-chain range scan: visits every (k, v) with lo <= k <= hi in
   /// ascending key order and returns the number of entries visited.
   /// Values are read through std::atomic_ref, so a scan is a multi-key

@@ -22,6 +22,14 @@ ConcurrentBPlusTree::ConcurrentBPlusTree() : root_(new Leaf()) {}
 
 ConcurrentBPlusTree::~ConcurrentBPlusTree() { destroy(root_); }
 
+void ConcurrentBPlusTree::clear() {
+  std::lock_guard writer(writer_mu_);
+  std::unique_lock root_guard(root_latch_);
+  destroy(root_);
+  root_ = new Leaf();
+  size_.store(0, std::memory_order_relaxed);
+}
+
 void ConcurrentBPlusTree::destroy(Node* node) {
   if (!node->leaf) {
     auto* inner = static_cast<Inner*>(node);

@@ -116,6 +116,11 @@ class ConcurrentBPlusTree {
     return size_.load(std::memory_order_relaxed);
   }
 
+  /// Discards every entry, resetting to a freshly constructed tree.
+  /// Requires exclusive access (no concurrent readers or writers) — the
+  /// quiesced snapshot-restore contract, not the latch-crabbing one.
+  void clear();
+
   /// Quiesced-only traversal (tests / state digests).  The template form
   /// inlines the visitor into the leaf walk (digest hot path).
   template <typename Fn>

@@ -171,6 +171,39 @@ const smr::CDepMatrix& kv_cdep_matrix() {
   return matrix;
 }
 
+/// Shared KV snapshot layout: u64 count, count * { u64 key, u64 value } in
+/// ascending key order (for_each's leaf-chain walk), so equivalent trees
+/// always serialize to identical bytes.
+template <typename Tree>
+bool snapshot_tree(const Tree& tree, util::Writer& w) {
+  w.u64(tree.size());
+  tree.for_each([&](std::uint64_t k, std::uint64_t v) {
+    w.u64(k);
+    w.u64(v);
+  });
+  return true;
+}
+
+template <typename Tree>
+bool restore_tree(Tree& tree, util::Reader& r) {
+  try {
+    std::uint64_t count = r.u64();
+    if (count * 16 != r.remaining()) return false;
+    tree.clear();
+    std::uint64_t prev = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::uint64_t k = r.u64();
+      std::uint64_t v = r.u64();
+      if (i != 0 && k <= prev) return false;  // must be strictly ascending
+      prev = k;
+      tree.insert(k, v);
+    }
+    return true;
+  } catch (const util::DecodeError&) {
+    return false;
+  }
+}
+
 }  // namespace
 
 KvService::KvService() = default;
@@ -182,6 +215,14 @@ KvService::KvService(std::uint64_t initial_keys) {
 bool KvService::may_share_batch(const smr::Command& x,
                                 const smr::Command& y) const {
   return kv_cdep_matrix().independent(x, y);
+}
+
+bool KvService::snapshot_to(util::Writer& w) const {
+  return snapshot_tree(tree_, w);
+}
+
+bool KvService::restore_from(util::Reader& r) {
+  return restore_tree(tree_, r);
 }
 
 void KvService::do_execute_batch(smr::CommandBatch& batch) {
@@ -252,6 +293,14 @@ ConcurrentKvService::ConcurrentKvService(std::uint64_t initial_keys) {
 bool ConcurrentKvService::may_share_batch(const smr::Command& x,
                                           const smr::Command& y) const {
   return kv_cdep_matrix().independent(x, y);
+}
+
+bool ConcurrentKvService::snapshot_to(util::Writer& w) const {
+  return snapshot_tree(tree_, w);
+}
+
+bool ConcurrentKvService::restore_from(util::Reader& r) {
+  return restore_tree(tree_, r);
 }
 
 void ConcurrentKvService::do_execute_batch(smr::CommandBatch& batch) {

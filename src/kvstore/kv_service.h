@@ -100,6 +100,8 @@ class KvService : public smr::Service {
   [[nodiscard]] std::uint64_t state_digest() const override {
     return tree_.digest();
   }
+  [[nodiscard]] bool snapshot_to(util::Writer& w) const override;
+  [[nodiscard]] bool restore_from(util::Reader& r) override;
   [[nodiscard]] const BPlusTree& tree() const { return tree_; }
 
  protected:
@@ -123,6 +125,8 @@ class ConcurrentKvService : public smr::Service {
   [[nodiscard]] std::uint64_t state_digest() const override {
     return tree_.digest();
   }
+  [[nodiscard]] bool snapshot_to(util::Writer& w) const override;
+  [[nodiscard]] bool restore_from(util::Reader& r) override;
   [[nodiscard]] const ConcurrentBPlusTree& tree() const { return tree_; }
 
  protected:

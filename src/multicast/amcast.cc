@@ -1,5 +1,6 @@
 #include "multicast/amcast.h"
 
+#include <algorithm>
 #include <chrono>
 
 namespace psmr::multicast {
@@ -106,6 +107,30 @@ std::unique_ptr<MergeDeliverer> Bus::subscribe(GroupId group) {
   logs.push_back(rings_.at(group)->subscribe());
   if (shared_ring_) logs.push_back(shared_ring_->subscribe());
   return std::make_unique<MergeDeliverer>(std::move(logs));
+}
+
+std::unique_ptr<MergeDeliverer> Bus::subscribe_at(
+    GroupId group, std::span<const paxos::Instance> starts) {
+  const std::size_t expected = shared_ring_ ? 2 : 1;
+  if (starts.size() != expected) return nullptr;
+  std::vector<std::unique_ptr<paxos::LearnerLog>> logs;
+  logs.push_back(rings_.at(group)->subscribe(starts[0]));
+  if (shared_ring_) logs.push_back(shared_ring_->subscribe(starts[1]));
+  return std::make_unique<MergeDeliverer>(std::move(logs));
+}
+
+std::size_t Bus::max_acceptor_log() const {
+  std::size_t out = 0;
+  for (const auto& r : rings_) out = std::max(out, r->max_acceptor_log());
+  if (shared_ring_) out = std::max(out, shared_ring_->max_acceptor_log());
+  return out;
+}
+
+std::uint64_t Bus::truncated_instances() const {
+  std::uint64_t out = 0;
+  for (const auto& r : rings_) out += r->truncated_instances();
+  if (shared_ring_) out += shared_ring_->truncated_instances();
+  return out;
 }
 
 std::uint64_t Bus::decided_commands() const {

@@ -17,6 +17,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "multicast/group.h"
@@ -134,6 +135,19 @@ class Bus {
   /// the shared ring (if any) deterministically.  Every subscriber of the
   /// same group on any replica observes the identical stream.
   std::unique_ptr<MergeDeliverer> subscribe(GroupId group);
+
+  /// Subscription resuming from recorded stream positions (checkpoint
+  /// recovery): starts[i] is the instance to deliver next from stream i, in
+  /// the same stream order subscribe() produces (group ring first, then the
+  /// shared ring when one exists).
+  std::unique_ptr<MergeDeliverer> subscribe_at(
+      GroupId group, std::span<const paxos::Instance> starts);
+
+  /// Largest acceptor decided-log across every ring (bounded-memory metric
+  /// for checkpoint truncation; thread-safe).
+  [[nodiscard]] std::size_t max_acceptor_log() const;
+  /// Total decided instances truncated across every ring's acceptors.
+  [[nodiscard]] std::uint64_t truncated_instances() const;
 
   /// Total commands decided across all rings (skips excluded).
   [[nodiscard]] std::uint64_t decided_commands() const;

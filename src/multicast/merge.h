@@ -79,9 +79,25 @@ class MergeDeliverer {
 
   [[nodiscard]] std::size_t num_streams() const { return logs_.size(); }
 
-  /// Number of decisions consumed so far from stream `i` (test hook).
+  /// Number of decisions consumed so far from stream `i` (test hook; also
+  /// the resume point recorded in checkpoints).
   [[nodiscard]] paxos::Instance stream_position(std::size_t i) const {
     return logs_.at(i)->next_instance();
+  }
+
+  /// Checkpoint hooks.  Safe only while the owning worker thread is parked
+  /// (the replica's checkpoint barrier): the merge state is then a pure
+  /// function of the stream positions plus whatever a mid-batch rotation
+  /// left undelivered in ready_.
+  [[nodiscard]] std::size_t merge_cursor() const { return cursor_; }
+  [[nodiscard]] const std::deque<Delivery>& pending() const { return ready_; }
+
+  /// Restores the rotation cursor and undelivered tail recorded by a
+  /// checkpoint, so a recovering worker resumes mid-batch exactly where the
+  /// snapshot was cut.  Call before the first next()/try_next().
+  void restore_merge_state(std::size_t cursor, std::deque<Delivery> pending) {
+    cursor_ = cursor % logs_.size();
+    ready_ = std::move(pending);
   }
 
  private:

@@ -220,4 +220,80 @@ std::uint64_t MemFs::digest() const {
   return h;
 }
 
+void MemFs::snapshot_to(util::Writer& w) const {
+  w.u64(next_inode_);
+  w.u64(next_fh_);
+  // inodes_ is an unordered_map; emit ascending ids so equivalent file
+  // systems (replicas at the same cut) serialize to identical bytes.
+  std::vector<InodeId> ids;
+  ids.reserve(inodes_.size());
+  for (const auto& [id, _] : inodes_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  w.u32(static_cast<std::uint32_t>(ids.size()));
+  for (InodeId id : ids) {
+    const Inode& node = inodes_.at(id);
+    w.u64(id);
+    w.boolean(node.is_dir);
+    w.u32(node.mode);
+    w.i64(node.atime_ns);
+    w.i64(node.mtime_ns);
+    w.u32(static_cast<std::uint32_t>(node.entries.size()));
+    for (const auto& [name, child] : node.entries) {  // map: sorted already
+      w.str(name);
+      w.u64(child);
+    }
+    w.bytes(node.data);
+  }
+  w.u32(static_cast<std::uint32_t>(fd_table_.size()));
+  for_each_fd([&w](std::uint64_t fh, std::uint64_t id) {
+    w.u64(fh);
+    w.u64(id);
+  });
+}
+
+bool MemFs::restore_from(util::Reader& r) {
+  try {
+    std::uint64_t next_inode = r.u64();
+    std::uint64_t next_fh = r.u64();
+    std::uint32_t num_inodes = r.u32();
+    // Every inode occupies at least 30 bytes (id + flags + times + counts).
+    if (std::size_t{num_inodes} * 30 > r.remaining() + 30) return false;
+    std::unordered_map<InodeId, Inode> inodes;
+    inodes.reserve(num_inodes);
+    InodeId prev = 0;
+    for (std::uint32_t i = 0; i < num_inodes; ++i) {
+      InodeId id = r.u64();
+      if (i != 0 && id <= prev) return false;  // ascending, duplicate-free
+      prev = id;
+      Inode node;
+      node.is_dir = r.boolean();
+      node.mode = r.u32();
+      node.atime_ns = r.i64();
+      node.mtime_ns = r.i64();
+      std::uint32_t num_entries = r.u32();
+      if (std::size_t{num_entries} * 12 > r.remaining()) return false;
+      for (std::uint32_t j = 0; j < num_entries; ++j) {
+        std::string name = r.str();
+        node.entries[name] = r.u64();
+      }
+      node.data = r.bytes();
+      inodes.emplace(id, std::move(node));
+    }
+    if (!inodes.contains(kRoot) || !inodes.at(kRoot).is_dir) return false;
+    std::uint32_t num_fds = r.u32();
+    if (std::size_t{num_fds} * 16 != r.remaining()) return false;
+    fd_table_.clear();
+    for (std::uint32_t i = 0; i < num_fds; ++i) {
+      std::uint64_t fh = r.u64();
+      fd_table_.insert(fh, r.u64());
+    }
+    inodes_ = std::move(inodes);
+    next_inode_ = next_inode;
+    next_fh_ = next_fh;
+    return true;
+  } catch (const util::DecodeError&) {
+    return false;
+  }
+}
+
 }  // namespace psmr::netfs

@@ -96,6 +96,15 @@ class MemFs {
   /// the descriptor table) for replica-convergence checks.
   [[nodiscard]] std::uint64_t digest() const;
 
+  /// Checkpointing: serializes the whole file system (inodes with their
+  /// directory entries and file contents, the descriptor table, and the id
+  /// allocators) in ascending inode-id order, so equivalent file systems
+  /// serialize identically.  Quiesced contract (see Service::snapshot_to).
+  void snapshot_to(util::Writer& w) const;
+  /// Replaces the whole file system with a snapshot_to() image.  Returns
+  /// false on malformed input (state is then unspecified).
+  bool restore_from(util::Reader& r);
+
  private:
   using InodeId = std::uint64_t;
 

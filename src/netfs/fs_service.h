@@ -86,6 +86,13 @@ class FsService : public smr::SequentialService {
   [[nodiscard]] std::uint64_t state_digest() const override {
     return fs_.digest();
   }
+  [[nodiscard]] bool snapshot_to(util::Writer& w) const override {
+    fs_.snapshot_to(w);
+    return true;
+  }
+  [[nodiscard]] bool restore_from(util::Reader& r) override {
+    return fs_.restore_from(r);
+  }
   [[nodiscard]] const MemFs& fs() const { return fs_; }
 
  private:

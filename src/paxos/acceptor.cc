@@ -1,5 +1,7 @@
 #include "paxos/acceptor.h"
 
+#include <algorithm>
+
 #include "util/log.h"
 
 namespace psmr::paxos {
@@ -22,6 +24,9 @@ void Acceptor::handle(transport::Message msg) {
       case MsgType::kPaxosCatchupReq:
         on_catchup(msg.from, r);
         break;
+      case MsgType::kPaxosCheckpointAck:
+        on_checkpoint_ack(r);
+        break;
       default:
         PSMR_WARN("acceptor " << name() << ": unexpected msg type "
                               << msg.type);
@@ -43,6 +48,7 @@ void Acceptor::on_prepare(transport::NodeId from, util::Reader& r) {
   promised_ = ballot;
   util::Writer w;
   w.u64(ballot);
+  w.u64(low_water_.load(std::memory_order_relaxed));
   auto it = accepted_.lower_bound(from_inst);
   std::uint32_t n = 0;
   for (auto probe = it; probe != accepted_.end(); ++probe) ++n;
@@ -75,7 +81,9 @@ void Acceptor::on_accept(transport::NodeId from, util::Reader& r) {
 
 void Acceptor::on_decide(util::Reader& r) {
   Instance inst = r.u64();
+  if (inst < low_water_.load(std::memory_order_relaxed)) return;  // truncated
   decided_[inst] = r.bytes();
+  decided_size_.store(decided_.size(), std::memory_order_relaxed);
 }
 
 void Acceptor::on_catchup(transport::NodeId from, util::Reader& r) {
@@ -94,6 +102,33 @@ void Acceptor::on_catchup(transport::NodeId from, util::Reader& r) {
     w.bytes(it->second);
   }
   send(from, MsgType::kPaxosCatchupRep, w.take());
+}
+
+void Acceptor::on_checkpoint_ack(util::Reader& r) {
+  std::uint64_t replica = r.u64();
+  Instance inst = r.u64();
+  if (checkpoint_ackers_ == 0) return;  // truncation disabled
+  auto& acked = acks_[replica];
+  acked = std::max(acked, inst);
+  if (acks_.size() < checkpoint_ackers_) return;
+  Instance floor = acks_.begin()->second;
+  for (const auto& [_, i] : acks_) floor = std::min(floor, i);
+  if (floor <= low_water_.load(std::memory_order_relaxed)) return;
+  std::uint64_t dropped = 0;
+  for (auto it = decided_.begin();
+       it != decided_.end() && it->first < floor;) {
+    it = decided_.erase(it);
+    ++dropped;
+  }
+  for (auto it = accepted_.begin();
+       it != accepted_.end() && it->first < floor;) {
+    it = accepted_.erase(it);
+  }
+  low_water_.store(floor, std::memory_order_relaxed);
+  decided_size_.store(decided_.size(), std::memory_order_relaxed);
+  truncated_.fetch_add(dropped, std::memory_order_relaxed);
+  PSMR_DEBUG("acceptor " << name() << ": truncated below " << floor << " ("
+                         << dropped << " decided instances dropped)");
 }
 
 }  // namespace psmr::paxos

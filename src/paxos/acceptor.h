@@ -2,13 +2,25 @@
 //
 // Implements the standard single-decree acceptor per instance (promise /
 // accept with a single promised ballot covering all instances, as in
-// multi-Paxos), plus two extensions the rest of the stack relies on:
+// multi-Paxos), plus three extensions the rest of the stack relies on:
 //   * it learns DECIDE messages and stores decided values, serving learner
 //     catch-up requests (recovering from dropped DECIDEs or late joiners);
 //   * PROMISE replies carry every accepted (instance, ballot, value) at or
-//     above the requested instance so a new coordinator can re-propose.
+//     above the requested instance so a new coordinator can re-propose;
+//   * CHECKPOINTACK messages from replicas advance a truncation floor: once
+//     every expected replica has acknowledged a checkpoint covering an
+//     instance, the acceptor discards decided and accepted state below it,
+//     bounding log memory on long runs (see RingConfig::checkpoint_ackers).
+//
+// Truncation must not break coordinator failover: a new coordinator derives
+// its starting instance from the maximum accepted instance reported in
+// PROMISEs, so if every accepted entry has been truncated it would restart
+// at instance 0 and decide fresh values at instances every learner has
+// already passed.  PROMISE therefore also carries the truncation floor and
+// the coordinator never proposes below it.
 #pragma once
 
+#include <atomic>
 #include <map>
 
 #include "paxos/types.h"
@@ -18,21 +30,36 @@ namespace psmr::paxos {
 
 /// Message schemas (util::Writer layouts) used between ring participants:
 ///   PREPARE   : ballot u64, from_instance u64
-///   PROMISE   : ballot u64, n u32, n * { instance u64, ballot u64, value bytes }
+///   PROMISE   : ballot u64, low_water u64,
+///               n u32, n * { instance u64, ballot u64, value bytes }
 ///   ACCEPT    : ballot u64, instance u64, value bytes
 ///   ACCEPTED  : ballot u64, instance u64
 ///   NACK      : promised_ballot u64
 ///   DECIDE    : instance u64, value bytes
 ///   CATCHUPREQ: from u64, to u64 (inclusive)
 ///   CATCHUPREP: n u32, n * { instance u64, value bytes }
+///   CHECKPOINTACK: replica u64, instance u64 (checkpoint covers < instance)
 class Acceptor : public transport::Endpoint {
  public:
-  Acceptor(transport::Network& net, RingId ring)
-      : Endpoint(net, "acceptor-ring" + std::to_string(ring)) {}
+  Acceptor(transport::Network& net, RingId ring,
+           std::size_t checkpoint_ackers = 0)
+      : Endpoint(net, "acceptor-ring" + std::to_string(ring)),
+        checkpoint_ackers_(checkpoint_ackers) {}
 
-  /// Test/monitoring hooks (thread-safe only after stop()).
+  /// Test/monitoring hooks.  The atomics are safe from any thread; use them
+  /// to watch log growth and truncation while the ring is live.
   [[nodiscard]] Ballot promised() const { return promised_; }
-  [[nodiscard]] std::size_t decided_count() const { return decided_.size(); }
+  [[nodiscard]] std::size_t decided_count() const {
+    return decided_size_.load(std::memory_order_relaxed);
+  }
+  /// Lowest instance still retained; everything below it was truncated.
+  [[nodiscard]] Instance low_water() const {
+    return low_water_.load(std::memory_order_relaxed);
+  }
+  /// Total decided instances discarded by checkpoint truncation.
+  [[nodiscard]] std::uint64_t truncated_instances() const {
+    return truncated_.load(std::memory_order_relaxed);
+  }
 
  protected:
   void handle(transport::Message msg) override;
@@ -42,15 +69,25 @@ class Acceptor : public transport::Endpoint {
   void on_accept(transport::NodeId from, util::Reader& r);
   void on_decide(util::Reader& r);
   void on_catchup(transport::NodeId from, util::Reader& r);
+  void on_checkpoint_ack(util::Reader& r);
 
   struct AcceptedEntry {
     Ballot ballot = 0;
     util::Buffer value;
   };
 
+  const std::size_t checkpoint_ackers_;
   Ballot promised_ = 0;
   std::map<Instance, AcceptedEntry> accepted_;
   std::map<Instance, util::Buffer> decided_;
+  /// Per-replica checkpoint acknowledgment (replica id -> acked instance).
+  /// Keyed by stable replica index, so a crashed replica's last ack pins the
+  /// floor until it restarts and re-acks — the suffix it will replay can
+  /// never be truncated out from under it.
+  std::map<std::uint64_t, Instance> acks_;
+  std::atomic<std::size_t> decided_size_{0};
+  std::atomic<Instance> low_water_{0};
+  std::atomic<std::uint64_t> truncated_{0};
 };
 
 }  // namespace psmr::paxos

@@ -218,6 +218,7 @@ void Coordinator::send_accepts(Instance inst) {
 void Coordinator::on_promise(transport::NodeId from, util::Reader& r) {
   Ballot ballot = r.u64();
   if (phase_ != Phase::kPreparing || ballot != ballot_) return;
+  prepare_floor_ = std::max(prepare_floor_, r.u64());
   std::uint32_t n = r.u32();
   for (std::uint32_t i = 0; i < n; ++i) {
     Instance inst = r.u64();
@@ -253,7 +254,9 @@ void Coordinator::on_promise(transport::NodeId from, util::Reader& r) {
     Batch noop;
     noop.skip = true;
     util::Buffer noop_enc = noop.encode();
-    for (Instance inst = 0; inst <= max_seen; ++inst) {
+    // Instances below the truncation floor are already delivered at every
+    // learner; re-proposing them would only churn the acceptors.
+    for (Instance inst = prepare_floor_; inst <= max_seen; ++inst) {
       auto pv = promised_values_.find(inst);
       if (pv != promised_values_.end()) {
         propose(inst, std::move(pv->second.value));
@@ -265,6 +268,9 @@ void Coordinator::on_promise(transport::NodeId from, util::Reader& r) {
     }
     next_instance_ = max_seen + 1;
   }
+  // Even if nothing survived at the acceptors (a fully truncated, idle
+  // ring), never restart numbering below the floor.
+  next_instance_ = std::max(next_instance_, prepare_floor_);
   promised_values_.clear();
   // A coordinator entering steady state (initial election or failover)
   // owes no skips for the time it spent in Phase 1.

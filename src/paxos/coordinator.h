@@ -190,6 +190,11 @@ class Coordinator : public transport::Endpoint {
     util::Buffer value;
   };
   std::map<Instance, PromisedValue> promised_values_;
+  /// Highest truncation floor reported in PROMISEs.  Instances below it were
+  /// checkpoint-truncated at the acceptors, so they are already delivered
+  /// everywhere; a failover coordinator must never re-propose below it (it
+  /// would reuse instance numbers every learner has already passed).
+  Instance prepare_floor_ = 0;
   std::chrono::steady_clock::time_point prepare_sent_{};
 
   // Batching.

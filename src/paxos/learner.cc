@@ -8,10 +8,12 @@ using transport::MsgType;
 namespace chrono = std::chrono;
 
 LearnerLog::LearnerLog(transport::Network& net, RingId ring,
-                       std::vector<transport::NodeId> acceptors)
+                       std::vector<transport::NodeId> acceptors,
+                       Instance start)
     : net_(net),
       ring_(ring),
       acceptors_(std::move(acceptors)),
+      next_{start},
       rng_(0xa11ce + ring) {
   auto [id, box] = net.register_node();
   id_ = id;
@@ -26,6 +28,15 @@ std::optional<Decision> LearnerLog::next() {
     auto msg = mailbox_->pop_for(catchup_after_);
     if (msg) {
       ingest(std::move(*msg));
+      // Traffic alone is not progress: a merged-delivery ring carries skips
+      // every few hundred microseconds, so a learner stuck behind a gap
+      // (dropped DECIDE, or a recovery subscription below the live stream)
+      // would wait on the silent-mailbox branch forever.  Trigger catch-up
+      // on stalled *delivery*, paced like next_for().
+      if (chrono::steady_clock::now() - last_progress_ > catchup_after_) {
+        request_catchup();
+        last_progress_ = chrono::steady_clock::now();  // pace the requests
+      }
       continue;
     }
     if (mailbox_->closed() && mailbox_->empty()) return std::nullopt;
@@ -49,6 +60,13 @@ std::optional<Decision> LearnerLog::next_for(chrono::microseconds timeout) {
     auto msg = mailbox_->pop_for(wait);
     if (msg) {
       ingest(std::move(*msg));
+      // Same stalled-delivery trigger as next(): live skip traffic keeps
+      // the mailbox busy, so a learner stuck behind a gap would otherwise
+      // never reach the silent-mailbox catch-up branch below.
+      if (chrono::steady_clock::now() - last_progress_ > catchup_after_) {
+        request_catchup();
+        last_progress_ = chrono::steady_clock::now();  // pace the requests
+      }
     } else if (mailbox_->closed() && mailbox_->empty()) {
       return std::nullopt;
     } else if (chrono::steady_clock::now() - last_progress_ >

@@ -27,9 +27,12 @@ class LearnerLog {
  public:
   /// Registers a learner mailbox; the caller must also register the id with
   /// the ring so the coordinator multicasts DECIDEs here (Ring::subscribe
-  /// does both).
+  /// does both).  `start` is the first instance to deliver — a recovering
+  /// replica that restored a checkpoint subscribes at its snapshot position
+  /// and the gap-triggered catch-up protocol replays the suffix from an
+  /// acceptor.
   LearnerLog(transport::Network& net, RingId ring,
-             std::vector<transport::NodeId> acceptors);
+             std::vector<transport::NodeId> acceptors, Instance start = 0);
 
   LearnerLog(const LearnerLog&) = delete;
   LearnerLog& operator=(const LearnerLog&) = delete;

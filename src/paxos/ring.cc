@@ -1,5 +1,7 @@
 #include "paxos/ring.h"
 
+#include <algorithm>
+
 #include "util/log.h"
 
 namespace psmr::paxos {
@@ -10,7 +12,8 @@ Ring::Ring(transport::Network& net, RingId id, RingConfig cfg)
       cfg_(std::move(cfg)),
       learners_(std::make_shared<LearnerRegistry>()) {
   for (std::size_t i = 0; i < cfg_.num_acceptors; ++i) {
-    acceptors_.push_back(std::make_unique<Acceptor>(net_, id_));
+    acceptors_.push_back(
+        std::make_unique<Acceptor>(net_, id_, cfg_.checkpoint_ackers));
     acceptor_ids_.push_back(acceptors_.back()->id());
   }
   coordinators_.push_back(std::make_unique<Coordinator>(
@@ -35,10 +38,22 @@ void Ring::stop() {
   for (auto& a : acceptors_) a->stop();
 }
 
-std::unique_ptr<LearnerLog> Ring::subscribe() {
-  auto log = std::make_unique<LearnerLog>(net_, id_, acceptor_ids_);
+std::unique_ptr<LearnerLog> Ring::subscribe(Instance start) {
+  auto log = std::make_unique<LearnerLog>(net_, id_, acceptor_ids_, start);
   learners_->add(log->id());
   return log;
+}
+
+std::size_t Ring::max_acceptor_log() const {
+  std::size_t out = 0;
+  for (const auto& a : acceptors_) out = std::max(out, a->decided_count());
+  return out;
+}
+
+std::uint64_t Ring::truncated_instances() const {
+  std::uint64_t out = 0;
+  for (const auto& a : acceptors_) out += a->truncated_instances();
+  return out;
 }
 
 bool Ring::submit(transport::NodeId from, util::Buffer command) {

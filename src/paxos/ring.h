@@ -40,8 +40,16 @@ class Ring {
   }
 
   /// Creates a learner subscription: the returned log receives every batch
-  /// decided by this ring, in instance order.
-  std::unique_ptr<LearnerLog> subscribe();
+  /// decided by this ring, in instance order, starting at `start` (nonzero
+  /// when a recovering replica resumes from a checkpoint; the suffix below
+  /// the live stream is fetched via the acceptor catch-up protocol).
+  std::unique_ptr<LearnerLog> subscribe(Instance start = 0);
+
+  /// Largest decided-log size across this ring's acceptors (thread-safe;
+  /// bounded-memory monitoring for checkpoint truncation).
+  [[nodiscard]] std::size_t max_acceptor_log() const;
+  /// Total decided instances truncated across this ring's acceptors.
+  [[nodiscard]] std::uint64_t truncated_instances() const;
 
   /// Submits one opaque command from node `from` to the current coordinator.
   bool submit(transport::NodeId from, util::Buffer command);

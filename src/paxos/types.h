@@ -103,6 +103,13 @@ struct RingConfig {
   std::size_t pipeline_window = 64;
   /// Retransmission timeout for PREPARE/ACCEPT under message loss.
   std::chrono::microseconds rto{5000};
+  /// Log truncation: number of distinct replicas whose CHECKPOINTACK must
+  /// cover an instance before acceptors may discard it.  A replica acks
+  /// instance i once a durable checkpoint makes every instance < i
+  /// replayable from its snapshot, so with acks from *all* replicas the
+  /// prefix below min(acked) can never be needed again.  0 (default)
+  /// disables truncation and keeps the seed behavior: logs grow forever.
+  std::size_t checkpoint_ackers = 0;
 };
 
 }  // namespace psmr::paxos

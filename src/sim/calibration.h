@@ -242,6 +242,37 @@ struct AdmissionCalibration {
   double max_p99_on_us = 25'000;          // ON tail stays bounded
 };
 
+/// Recovery sweep pin (PR 8).  Source: `bench_fig10_recovery --json`
+/// (BENCH_recovery.json) — the deterministic recovery fluid model
+/// (sim/model.h, simulate_recovery) swept over downtimes with snapshot
+/// catch-up on and off.  The model runs fixed virtual parameters regardless
+/// of --quick, so the CI gate over the bench JSON and the
+/// sim_calibration_test assertions see identical numbers.
+///
+/// Shape being pinned: with periodic checkpoints, a restarted replica
+/// installs a snapshot and replays a *bounded* suffix, so its recovery time
+/// is a small multiple of the downtime; without them it replays the entire
+/// history, so recovery scales with uptime instead and is several times
+/// slower at the probe point.
+struct RecoveryCalibration {
+  // Model inputs (RecoveryConfig defaults the bench runs with).
+  double capacity_kcps = 842.0;    // KvCosts' single-stream SMR pipeline
+  double offered_kcps = 400.0;     // sustained load during the outage
+  double uptime_us = 10'100'000;   // virtual run time before the crash
+  double checkpoint_interval_cmds = 200'000;
+  double install_kcps = 8'420.0;   // bulk snapshot install (10x execution)
+  double probe_downtime_us = 500'000;  // the gated sweep point
+
+  // Measured record (bench_fig10_recovery --json, reference container).
+  double snapshot_recovery_us = 1'447'963.8;    // install + bounded suffix
+  double full_replay_recovery_us = 9'592'760.2; // whole-history replay
+
+  // CI gates (checked over BENCH_recovery.json and re-asserted from the
+  // model in sim_calibration_test).
+  double max_recovery_vs_downtime = 3.5;  // snapshot recovery / downtime
+  double min_full_replay_ratio = 4.0;     // full replay / snapshot recovery
+};
+
 /// Client/network constants shared by both services.
 struct NetCosts {
   double one_way = 60.0;        // client <-> cluster, switched gigabit

@@ -464,4 +464,38 @@ std::size_t knee_index(const std::vector<OverloadPoint>& points,
   return knee;
 }
 
+RecoveryPoint simulate_recovery(const RecoveryConfig& cfg) {
+  RecoveryPoint pt;
+  pt.downtime_us = cfg.downtime_us;
+  const double offered = cfg.offered_kcps * 1e-3;    // commands/us
+  const double capacity = cfg.capacity_kcps * 1e-3;
+  const double install_rate = cfg.install_kcps * 1e-3;
+  const double total_at_crash = offered * cfg.uptime_us;
+  // The last checkpoint cut before the crash bounds the replay suffix.
+  double covered = 0;
+  if (cfg.snapshot && cfg.checkpoint_interval_cmds > 0) {
+    covered = std::floor(total_at_crash / cfg.checkpoint_interval_cmds) *
+              cfg.checkpoint_interval_cmds;
+  }
+  pt.installed_cmds = covered;
+  pt.install_us = install_rate > 0 ? covered / install_rate : 0;
+  // Suffix at the moment replay starts: the residual since the checkpoint,
+  // plus everything the live replicas decided during the outage and the
+  // install phase.
+  pt.replayed_cmds = (total_at_crash - covered) +
+                     offered * (cfg.downtime_us + pt.install_us);
+  const double drain = capacity - offered;
+  if (drain <= 0) {
+    // Replay can never outpace the live load: unrecoverable.
+    pt.replay_us = cfg.max_recovery_us;
+    pt.recovery_us = cfg.max_recovery_us;
+    pt.recovered = false;
+    return pt;
+  }
+  pt.replay_us = pt.replayed_cmds / drain;
+  pt.recovery_us = pt.install_us + pt.replay_us;
+  pt.recovered = pt.recovery_us <= cfg.max_recovery_us;
+  return pt;
+}
+
 }  // namespace psmr::sim

@@ -141,4 +141,58 @@ OverloadPoint simulate_overload(const OverloadConfig& cfg,
 std::size_t knee_index(const std::vector<OverloadPoint>& points,
                        double headroom);
 
+// --- Recovery model (fig10: time to rejoin after a crash) -----------------
+//
+// A deterministic fluid view of replica catch-up (the checkpoint/truncation
+// machinery of smr/snapshot.h and replica_psmr.h).  A replica that ran for
+// `uptime_us` under a sustained load crashes, stays down for `downtime_us`,
+// and restarts.  With snapshots it installs the latest checkpoint (bulk
+// state load at `install_kcps`, much faster than re-execution) and then
+// replays only the suffix: the residual since the last checkpoint plus
+// everything decided while it was down or installing.  Without snapshots it
+// replays the entire log from instance 0.  Either way the suffix drains at
+// (capacity - offered): replay competes with the live load the replica must
+// also keep up with.  Recovery completes when the backlog hits zero — the
+// replica is converged with its peers and serving at full throughput.
+//
+// The model is what fig10 sweeps and what RecoveryCalibration pins: recovery
+// time scales with downtime (bounded multiple) when checkpoints bound the
+// suffix, and degrades to full-history replay — proportional to uptime, not
+// downtime — when they don't.
+
+struct RecoveryConfig {
+  /// Replica execution/replay capacity, Kcps (KvCosts' SMR pipeline).
+  double capacity_kcps = 842.0;
+  /// Sustained offered load, Kcps (must stay below capacity to recover).
+  double offered_kcps = 400.0;
+  /// Virtual run time before the crash.
+  double uptime_us = 10'100'000;
+  /// Crash-to-restart gap.
+  double downtime_us = 500'000;
+  /// Commands between periodic checkpoints (CheckpointOptions
+  /// ::interval_commands); bounds the residual suffix a restart replays.
+  double checkpoint_interval_cmds = 200'000;
+  /// Snapshot install rate, Kcps-equivalent: bulk-loading a key is ~10x
+  /// cheaper than executing the command that produced it (no ordering, no
+  /// marshaling, ascending B+-tree build).
+  double install_kcps = 8'420.0;
+  /// False models the no-checkpoint baseline: full log replay.
+  bool snapshot = true;
+  /// Horizon after which the model declares the replica unrecoverable.
+  double max_recovery_us = 120'000'000;
+};
+
+struct RecoveryPoint {
+  double downtime_us = 0;
+  double installed_cmds = 0;   // commands-equivalent covered by the snapshot
+  double replayed_cmds = 0;    // log suffix re-executed after install
+  double install_us = 0;       // snapshot transfer + bulk load
+  double replay_us = 0;        // suffix drain at (capacity - offered)
+  double recovery_us = 0;      // install + replay: restart -> converged
+  bool recovered = false;      // recovery_us within the horizon
+};
+
+/// Evaluates the recovery model at one configuration.  Deterministic.
+RecoveryPoint simulate_recovery(const RecoveryConfig& cfg);
+
 }  // namespace psmr::sim

@@ -21,6 +21,13 @@ namespace psmr::smr {
 
 /// Service-level command identifier (one per service operation).
 using CommandId = std::uint16_t;
+
+/// Reserved command id: a checkpoint marker multicast to every group, so it
+/// lands at one well-defined position of every replica's merged delivery
+/// sequence.  Replica proxies intercept it (all workers barrier and snapshot
+/// the service state); it never reaches a Service.  Carries client = 0,
+/// which no real client uses (deployments assign ClientIds from 1).
+inline constexpr CommandId kCheckpointMarker = 0xFFFF;
 /// Unique client identity (assigned by the deployment).
 using ClientId = std::uint64_t;
 /// Per-client monotonically increasing request number.

@@ -26,10 +26,27 @@
 // executes it as one Service::execute_batch call.  Run boundaries are
 // timing-dependent but, per the batch contract in service.h, replicas that
 // slice the same deterministic stream differently still converge.
+//
+// Checkpointing (when CheckpointOptions::enabled): a reserved marker
+// command (kCheckpointMarker), multicast to every group, lands at one
+// well-defined position of every worker's merged stream.  On delivering it
+// each worker parks at a full-replica barrier (the same signal matrix the
+// synchronous mode uses); worker 0 then snapshots the quiesced service plus
+// every worker's resume state into a digest-stamped SnapshotFrame
+// (smr/snapshot.h), stores the encoded frame for peers to fetch
+// (kSmrSnapshotReq/Rep), and acks the covered prefix to every ring's
+// acceptors so they can truncate (kPaxosCheckpointAck).  Because the frame
+// is a deterministic function of the streams, replicas cutting the same
+// marker produce byte-identical frames.  A restarted replica is constructed
+// from a peer's frame: the service state installs, each worker resubscribes
+// at its recorded stream positions, and the acceptor catch-up protocol
+// replays the suffix through the normal dedup/admit path.
 #pragma once
 
 #include <atomic>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -37,6 +54,7 @@
 #include "multicast/amcast.h"
 #include "smr/response_coalescer.h"
 #include "smr/service.h"
+#include "smr/snapshot.h"
 #include "util/sync.h"
 
 namespace psmr::smr {
@@ -48,10 +66,16 @@ class PsmrReplica {
   /// (1 restores one-command-at-a-time execution).  `response_opts` tunes
   /// reply coalescing (see response_coalescer.h); the workers share one
   /// coalescer, so replies from different workers to the same proxy merge.
+  /// `checkpoint` enables the snapshot/truncation/recovery machinery;
+  /// `restore` (optional) boots the replica from a decoded snapshot frame
+  /// instead of from scratch — throws std::runtime_error if the frame does
+  /// not install cleanly (service decode failure or digest mismatch).
   PsmrReplica(transport::Network& net, multicast::Bus& bus,
               std::unique_ptr<Service> service, std::size_t mpl,
               std::string name = "psmr-replica", std::size_t run_length = 16,
-              ResponseCoalescerOptions response_opts = {});
+              ResponseCoalescerOptions response_opts = {},
+              CheckpointOptions checkpoint = {},
+              const SnapshotFrame* restore = nullptr);
   ~PsmrReplica();
 
   PsmrReplica(const PsmrReplica&) = delete;
@@ -86,12 +110,43 @@ class PsmrReplica {
     return subs_.at(w)->stream_position(s);
   }
 
+  /// Multicasts a checkpoint marker.  All replicas of the deployment cut a
+  /// checkpoint when it is delivered (it travels the ordered streams like
+  /// any command).  Returns false when checkpointing is disabled or the
+  /// submit could not be dispatched.  Safe from any thread.
+  bool trigger_checkpoint();
+
+  /// Checkpoints completed by this replica (taken or installed-on-restore).
+  [[nodiscard]] std::uint64_t checkpoints_taken() const {
+    return ckpts_taken_.load(std::memory_order_relaxed);
+  }
+  /// The latest encoded snapshot frame, if any (what peers fetch).
+  [[nodiscard]] std::optional<util::Buffer> latest_checkpoint() const {
+    std::lock_guard lock(ckpt_mu_);
+    if (!have_ckpt_) return std::nullopt;
+    return latest_ckpt_;
+  }
+  /// Node serving kSmrSnapshotReq (kNoNode when checkpointing is off).
+  [[nodiscard]] transport::NodeId snapshot_node() const;
+
  private:
   class WorkerSink;
+  class SnapshotServer;
 
   void worker_loop(std::size_t worker);
   void sync_execute(Command cmd, std::size_t worker);
   void execute_run(std::vector<Command>& run, std::size_t worker);
+  /// Full-replica barrier at a delivered checkpoint marker; worker 0 cuts
+  /// the snapshot while every other worker is parked.
+  void checkpoint_execute(std::size_t worker);
+  /// Runs on worker 0 (or the sole worker) with the service quiesced.
+  void take_checkpoint();
+  /// Builds the resume-state frame from the parked workers' streams.
+  [[nodiscard]] SnapshotFrame build_frame(std::uint64_t executed) const;
+  /// Installs a decoded frame into a freshly constructed replica.
+  void install_frame(const SnapshotFrame& frame);
+  /// Acks the frame's covered prefix to every ring's acceptors.
+  void send_checkpoint_acks(const SnapshotFrame& frame);
   /// Dedup classification of a parallel-mode delivery: true if the command
   /// is fresh and should execute; replays the cached response (or drops a
   /// stale duplicate) otherwise.
@@ -101,9 +156,11 @@ class PsmrReplica {
   }
 
   transport::Network& net_;
+  multicast::Bus& bus_;
   const std::size_t mpl_;
   const std::size_t run_length_;
   const std::string name_;
+  const CheckpointOptions ckpt_opts_;
   std::unique_ptr<Service> service_;
   std::vector<std::unique_ptr<multicast::MergeDeliverer>> subs_;
   std::vector<util::Signal> signals_;  // mpl x mpl matrix
@@ -122,6 +179,21 @@ class PsmrReplica {
 
   std::atomic<std::uint64_t> executed_{0};
   bool started_ = false;
+
+  // Checkpoint state.  latest_ckpt_/have_ckpt_/last_ckpt_executed_ are
+  // written by worker 0 at the barrier and read by the snapshot server and
+  // monitoring threads, hence the mutex.
+  mutable std::mutex ckpt_mu_;
+  util::Buffer latest_ckpt_;
+  bool have_ckpt_ = false;
+  std::uint64_t last_ckpt_executed_ = 0;
+  std::atomic<std::uint64_t> ckpts_taken_{0};
+  /// A marker is in flight (trigger issued, barrier not reached yet); keeps
+  /// the periodic trigger from flooding markers faster than they deliver.
+  std::atomic<bool> ckpt_pending_{false};
+  /// Worker 0's command count toward the next periodic trigger.
+  std::uint64_t since_ckpt_trigger_ = 0;
+  std::unique_ptr<SnapshotServer> snapshot_server_;
 };
 
 }  // namespace psmr::smr

@@ -15,6 +15,8 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <vector>
 
 #include "multicast/amcast.h"
@@ -79,6 +81,13 @@ struct DeploymentConfig {
   /// Unreplicated modes (no-rep, lock server) have no multicast rings to
   /// protect and ignore it.
   AdmissionConfig admission;
+  /// Checkpointing / log truncation / recovery (SMR and P-SMR modes; see
+  /// replica_psmr.h and smr/snapshot.h).  `replica_id` is assigned per
+  /// replica by the deployment, so leave it at its default.  When enabled
+  /// and `ring.checkpoint_ackers` was left at 0, the rings' truncation
+  /// quorum is set to the full replica count: acceptors drop a decided
+  /// prefix only once every replica has covered it with a checkpoint.
+  CheckpointOptions checkpoint;
 };
 
 class Deployment {
@@ -126,26 +135,67 @@ class Deployment {
   /// The shared controller (nullptr when admission is disabled).
   [[nodiscard]] AdmissionController* admission() { return admission_.get(); }
 
-  /// Test hook: replica i in P-SMR mode (nullptr in other modes).  Exposes
-  /// the per-worker merge-stream positions for progress assertions.
-  [[nodiscard]] PsmrReplica* psmr_replica(std::size_t i) {
+  /// Test hook: replica i in SMR/P-SMR mode (nullptr in other modes, or
+  /// while replica i is crashed).  Exposes the per-worker merge-stream
+  /// positions for progress assertions.  The pointer stays valid until the
+  /// replica is crashed or the deployment destroyed — don't cache it across
+  /// a crash_replica/restart_replica cycle.
+  [[nodiscard]] PsmrReplica* psmr_replica(std::size_t i) const {
+    std::lock_guard lock(replicas_mu_);
     return i < psmr_.size() ? psmr_[i].get() : nullptr;
   }
 
   /// Number of service instances (replicas, or 1 for unreplicated modes).
   [[nodiscard]] std::size_t num_services() const;
-  /// Commands executed by service instance i.
+  /// Commands executed by service instance i (0 while crashed).
   [[nodiscard]] std::uint64_t executed(std::size_t i) const;
-  /// State digest of service instance i (replica-convergence checks).
+  /// State digest of service instance i (0 while crashed).
   [[nodiscard]] std::uint64_t state_digest(std::size_t i) const;
 
+  // -- Checkpointing & recovery (SMR and P-SMR modes) ---------------------
+
+  /// Multicasts a checkpoint marker through any live replica; every replica
+  /// cuts a checkpoint when it delivers.  False when the mode has no
+  /// checkpoint-capable replicas, checkpointing is disabled, or no replica
+  /// is alive.
+  bool trigger_checkpoint();
+
+  /// Checkpoints completed by replica i (0 while crashed / other modes).
+  [[nodiscard]] std::uint64_t checkpoints_taken(std::size_t i) const;
+
+  /// Crash-simulates replica i: stops its workers and destroys it (its
+  /// service state is lost; its slot reads as nullptr / zero digests).  The
+  /// ring acceptors keep its last checkpoint ack, so log truncation cannot
+  /// outrun the crashed replica — restart_replica always finds the suffix
+  /// it needs.  No-op when i is out of range or already crashed.
+  void crash_replica(std::size_t i);
+
+  /// Restarts a crashed replica: fetches the latest snapshot frame from a
+  /// live peer (kSmrSnapshotReq), installs it, resubscribes the workers at
+  /// the frame's recorded stream positions, and lets the ring catch-up
+  /// protocol replay the suffix.  Falls back to a from-scratch replay of
+  /// the full log when no peer has a checkpoint (only possible when no
+  /// checkpoint was ever cut, hence nothing was truncated).  Returns false
+  /// when i is out of range, not crashed, or the mode has no psmr replicas.
+  bool restart_replica(std::size_t i);
+
  private:
+  [[nodiscard]] std::unique_ptr<PsmrReplica> build_psmr_replica(
+      std::size_t r, const SnapshotFrame* restore);
+  /// Fetches the newest encoded snapshot frame held by any live replica
+  /// other than `skip` (nullopt when none).
+  [[nodiscard]] std::optional<SnapshotFrame> fetch_peer_snapshot(
+      std::size_t skip);
+
   DeploymentConfig cfg_;
   transport::Network net_;
   std::unique_ptr<multicast::Bus> bus_;
   std::shared_ptr<const CGFunction> client_cg_;
   std::shared_ptr<AdmissionController> admission_;
 
+  /// Guards the psmr_ slot pointers, which crash_replica/restart_replica
+  /// swap while monitor threads read the per-replica accessors.
+  mutable std::mutex replicas_mu_;
   std::vector<std::unique_ptr<PsmrReplica>> psmr_;
   std::vector<std::unique_ptr<SpsmrReplica>> spsmr_;
   std::unique_ptr<NoRepServer> norep_;

@@ -170,6 +170,26 @@ class Service {
   /// command histories must produce equal digests.
   [[nodiscard]] virtual std::uint64_t state_digest() const = 0;
 
+  /// Checkpointing: serializes the full service state into `w` (any
+  /// deterministic, self-delimiting layout; the replica wraps it in a
+  /// digest-stamped frame — see smr/snapshot.h).  Returns false when the
+  /// service does not support snapshots (the default), which disables
+  /// checkpointing for deployments mounting it.  Called only while the
+  /// service is quiesced (all replica workers parked at the checkpoint
+  /// barrier), so implementations need no internal synchronization beyond
+  /// what state_digest() already assumes.
+  [[nodiscard]] virtual bool snapshot_to(util::Writer& /*w*/) const {
+    return false;
+  }
+
+  /// Replaces the entire service state with a snapshot previously produced
+  /// by snapshot_to() on an equivalent service.  Returns false on decode
+  /// failure (state is then unspecified; the caller discards the replica).
+  /// Same quiescence contract as snapshot_to().
+  [[nodiscard]] virtual bool restore_from(util::Reader& /*r*/) {
+    return false;
+  }
+
   /// Execution counters since construction.  Wrappers (LockedService,
   /// SequentialServiceAdapter) report the innermost recording layer.
   [[nodiscard]] virtual ExecStats exec_stats() const {
@@ -209,6 +229,14 @@ class SequentialService {
 
   /// See Service::state_digest().
   [[nodiscard]] virtual std::uint64_t state_digest() const = 0;
+
+  /// See Service::snapshot_to() / restore_from().
+  [[nodiscard]] virtual bool snapshot_to(util::Writer& /*w*/) const {
+    return false;
+  }
+  [[nodiscard]] virtual bool restore_from(util::Reader& /*r*/) {
+    return false;
+  }
 };
 
 /// Runs a SequentialService under the batch contract: each batch member is
@@ -223,6 +251,12 @@ class SequentialServiceAdapter final : public Service {
 
   [[nodiscard]] std::uint64_t state_digest() const override {
     return inner_->state_digest();
+  }
+  [[nodiscard]] bool snapshot_to(util::Writer& w) const override {
+    return inner_->snapshot_to(w);
+  }
+  [[nodiscard]] bool restore_from(util::Reader& r) override {
+    return inner_->restore_from(r);
   }
   [[nodiscard]] SequentialService& inner() { return *inner_; }
 
@@ -259,6 +293,15 @@ class LockedService : public Service {
   [[nodiscard]] std::uint64_t state_digest() const override {
     std::lock_guard lock(mu_);
     return inner_->state_digest();
+  }
+
+  [[nodiscard]] bool snapshot_to(util::Writer& w) const override {
+    std::lock_guard lock(mu_);
+    return inner_->snapshot_to(w);
+  }
+  [[nodiscard]] bool restore_from(util::Reader& r) override {
+    std::lock_guard lock(mu_);
+    return inner_->restore_from(r);
   }
 
   [[nodiscard]] ExecStats exec_stats() const override {

@@ -34,11 +34,14 @@ enum MsgType : std::uint16_t {
   kPaxosCatchupReq = 8, // learner -> acceptor: re-learn decided instances
   kPaxosCatchupRep = 9, // acceptor -> learner
   kPaxosSubmitMany = 10, // client/proxy -> coordinator: coalesced commands
+  kPaxosCheckpointAck = 11, // replica -> acceptor: checkpoint covers < inst
   // SMR layer: 30..39
   kSmrResponse = 30,    // replica worker -> client proxy
   kSmrDirect = 31,      // client -> unreplicated server (no-rep / lock server)
   kSmrResponseMany = 32, // replica -> client proxy: coalesced responses
   kSmrRejected = 33,     // admission control -> client proxy: command shed
+  kSmrSnapshotReq = 34,  // recovering replica -> peer: latest checkpoint?
+  kSmrSnapshotRep = 35,  // peer -> recovering replica: u8 has, bytes frame
 };
 
 /// Envelope delivered to a Node's mailbox.

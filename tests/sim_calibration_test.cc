@@ -329,6 +329,71 @@ TEST(Calibration, OverloadModelIsStableBelowTheKnee) {
   }
 }
 
+TEST(Calibration, RecoveryGateHoldsInTheFluidModel) {
+  // The CI gate over BENCH_recovery.json (bench_fig10_recovery) asserts
+  // that at the calibrated probe downtime a snapshot-based restart
+  // reconverges within max_recovery_vs_downtime x the downtime, while a
+  // full-history replay takes at least min_full_replay_ratio x longer.
+  // The recovery model is closed form and deterministic, so the exact same
+  // relations must hold here, bench flags or not.
+  RecoveryCalibration rc;
+  RecoveryConfig base;
+  base.capacity_kcps = rc.capacity_kcps;
+  base.offered_kcps = rc.offered_kcps;
+  base.uptime_us = rc.uptime_us;
+  base.checkpoint_interval_cmds = rc.checkpoint_interval_cmds;
+  base.install_kcps = rc.install_kcps;
+  base.downtime_us = rc.probe_downtime_us;
+
+  auto snap_cfg = base;
+  snap_cfg.snapshot = true;
+  auto snap = simulate_recovery(snap_cfg);
+  auto full_cfg = base;
+  full_cfg.snapshot = false;
+  auto full = simulate_recovery(full_cfg);
+
+  ASSERT_TRUE(snap.recovered);
+  ASSERT_TRUE(full.recovered);
+
+  // The two CI gates, asserted from the model itself.
+  EXPECT_LE(snap.recovery_us,
+            rc.max_recovery_vs_downtime * rc.probe_downtime_us)
+      << "snapshot recovery at the probe exceeds the CI gate";
+  EXPECT_GE(full.recovery_us, rc.min_full_replay_ratio * snap.recovery_us)
+      << "full replay no longer dominates — the gate's contrast is gone";
+
+  // And the pinned record stays within 1% of what the model yields.
+  EXPECT_NEAR(snap.recovery_us, rc.snapshot_recovery_us,
+              rc.snapshot_recovery_us * 0.01);
+  EXPECT_NEAR(full.recovery_us, rc.full_replay_recovery_us,
+              rc.full_replay_recovery_us * 0.01);
+
+  // Shape sanity.  Snapshot install covers every whole checkpoint interval
+  // of the pre-crash history, so the replayed suffix is bounded by one
+  // interval plus the outage backlog — far less than the full history.
+  EXPECT_LT(snap.replayed_cmds, full.replayed_cmds / 2);
+  EXPECT_GT(snap.installed_cmds, 0.0);
+  EXPECT_EQ(full.installed_cmds, 0.0);
+  EXPECT_EQ(full.install_us, 0.0);
+
+  // Monotonicity across the bench's sweep grid: longer downtime never
+  // shortens recovery, and every snapshot point drains (capacity > offered).
+  double prev = 0;
+  for (double dt : {100'000.0, 250'000.0, 500'000.0, 1e6, 2e6}) {
+    auto cfg = base;
+    cfg.downtime_us = dt;
+    auto pt = simulate_recovery(cfg);
+    EXPECT_TRUE(pt.recovered) << "downtime " << dt;
+    EXPECT_GE(pt.recovery_us, prev);
+    prev = pt.recovery_us;
+  }
+
+  // An offered load at/above capacity can never drain the replay backlog.
+  auto swamped = base;
+  swamped.offered_kcps = swamped.capacity_kcps;
+  EXPECT_FALSE(simulate_recovery(swamped).recovered);
+}
+
 TEST(Calibration, ExecCostScalesSaturatedThroughputInversely) {
   // Round-trip sensitivity: doubling the calibrated execution cost must
   // halve saturated single-thread throughput (within closed-loop noise).

@@ -122,6 +122,16 @@ smr::DeploymentConfig sharded_kv_config(const smr::ShardSpec& spec,
   return cfg;
 }
 
+smr::DeploymentConfig checkpointed_kv_config(smr::Mode mode, std::size_t mpl,
+                                             std::uint64_t interval_commands,
+                                             std::uint64_t initial_keys,
+                                             std::size_t replicas) {
+  smr::DeploymentConfig cfg = kv_config(mode, mpl, initial_keys, replicas);
+  cfg.checkpoint.enabled = true;
+  cfg.checkpoint.interval_commands = interval_commands;
+  return cfg;
+}
+
 void wait_executed(smr::Deployment& d, std::uint64_t n,
                    std::chrono::seconds timeout) {
   auto deadline = std::chrono::steady_clock::now() + timeout;
@@ -133,6 +143,42 @@ void wait_executed(smr::Deployment& d, std::uint64_t n,
     if (all) return;
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
+}
+
+void wait_replica_executed(smr::Deployment& d, std::size_t i, std::uint64_t n,
+                           std::chrono::seconds timeout) {
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (d.executed(i) < n && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+void wait_checkpoints(smr::Deployment& d, std::uint64_t n,
+                      std::chrono::seconds timeout) {
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    bool all = true;
+    for (std::size_t i = 0; i < d.num_services(); ++i) {
+      if (d.psmr_replica(i) != nullptr && d.checkpoints_taken(i) < n) {
+        all = false;
+      }
+    }
+    if (all) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+bool wait_converged(smr::Deployment& d, std::size_t i, std::size_t ref,
+                    std::chrono::seconds timeout) {
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (d.executed(i) == d.executed(ref) && d.executed(i) > 0 &&
+        d.state_digest(i) == d.state_digest(ref)) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return false;
 }
 
 void run_threads(int n, const std::function<void(int)>& fn) {

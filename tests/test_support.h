@@ -91,10 +91,37 @@ smr::DeploymentConfig kv_config_with_ring(smr::Mode mode, std::size_t mpl,
 smr::DeploymentConfig sharded_kv_config(const smr::ShardSpec& spec,
                                         std::uint64_t initial_keys = 0);
 
+/// A complete checkpointing KV deployment config: kv_config() plus periodic
+/// checkpoint triggers every `interval_commands` commands and log
+/// truncation at the all-replicas ack quorum.  interval_commands = 0 keeps
+/// checkpointing enabled but manual (Deployment::trigger_checkpoint).
+smr::DeploymentConfig checkpointed_kv_config(
+    smr::Mode mode, std::size_t mpl, std::uint64_t interval_commands,
+    std::uint64_t initial_keys = 0, std::size_t replicas = 2);
+
 /// Blocks until every service instance has executed >= n commands (or the
 /// timeout elapses; the caller's subsequent assertions catch a timeout).
 void wait_executed(smr::Deployment& d, std::uint64_t n,
                    std::chrono::seconds timeout = std::chrono::seconds(10));
+
+/// Blocks until replica `i` alone has executed >= n commands — the
+/// crash/restart variant of wait_executed, which would stall forever on a
+/// crashed slot (its executed() reads 0).
+void wait_replica_executed(smr::Deployment& d, std::size_t i, std::uint64_t n,
+                           std::chrono::seconds timeout =
+                               std::chrono::seconds(10));
+
+/// Blocks until every *live* replica has completed >= n checkpoints
+/// (Deployment::checkpoints_taken); crashed slots are skipped.
+void wait_checkpoints(smr::Deployment& d, std::uint64_t n,
+                      std::chrono::seconds timeout = std::chrono::seconds(10));
+
+/// Blocks until replica `i` has converged with replica `ref`: equal
+/// executed counts and equal state digests.  Call with the workload
+/// quiesced (ref's count stable); returns true on convergence, false on
+/// timeout.
+bool wait_converged(smr::Deployment& d, std::size_t i, std::size_t ref,
+                    std::chrono::seconds timeout = std::chrono::seconds(20));
 
 /// RAII in-process cluster: builds the Deployment (coordinator, acceptors,
 /// learners, replicas), starts it on construction and stops it on
