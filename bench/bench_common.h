@@ -18,7 +18,14 @@
 #include "kvstore/kv_service.h"
 #include "sim/model.h"
 #include "smr/runtime.h"
+#include "util/alloc_hook.h"
 #include "workload/driver.h"
+
+// Each bench binary is a single translation unit, so defining the counting
+// allocator here gives every fig*/micro_* bench heap-traffic metering
+// (util::allochook::allocations()) with no extra wiring.  Inert under
+// sanitizers.
+PSMR_DEFINE_ALLOC_HOOK();
 
 namespace psmr::bench {
 
@@ -98,13 +105,15 @@ inline smr::Mode to_mode(sim::Tech t) {
 
 /// Runs the real runtime with a workload mix and adapts to RunResult-like
 /// fields of SimResult for uniform printing.  `raw`, when given, receives
-/// the full driver result including the replica-side ExecStats.
+/// the full driver result including the replica-side ExecStats; `spool`
+/// receives the deployment's submit-pipelining counters.
 inline sim::SimResult run_real_kv(const Options& opt, sim::Tech tech,
                                   int workers, const workload::KvMix& mix,
                                   bool zipf = false,
                                   std::size_t exec_run_length = 16,
                                   workload::RunResult* raw = nullptr,
-                                  bool coalesce_responses = true) {
+                                  bool coalesce_responses = true,
+                                  smr::SpoolStats* spool = nullptr) {
   auto dcfg = real_kv_config(to_mode(tech), static_cast<std::size_t>(workers),
                              /*keys=*/200'000, exec_run_length,
                              coalesce_responses);
@@ -119,6 +128,7 @@ inline sim::SimResult run_real_kv(const Options& opt, sim::Tech tech,
   spec.keys = 200'000;
   spec.zipf = zipf;
   auto r = workload::run_kv_workload(d, spec);
+  if (spool) *spool = d.spool_stats();
   d.stop();
   if (raw) *raw = r;
   sim::SimResult out;

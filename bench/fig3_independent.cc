@@ -128,18 +128,35 @@ void write_json(const Options& opt) {
   // is reported, not gated.
   workload::RunResult real_seq;
   workload::RunResult real_batched;
+  smr::SpoolStats spool;
   run_real_kv(opt, sim::Tech::kSpsmr, 2, workload::KvMix{100, 0, 0, 0},
               /*zipf=*/false, /*exec_run_length=*/1, &real_seq);
+  // Allocation metering (zero-copy pooled buffers PR): heap traffic across
+  // the whole coalesced deployment leg — Paxos, batches, responses, clients
+  // — divided by completed commands.  Whole-process, so it includes the
+  // workload driver itself; the hot-path-only number is bench_micro_codec's.
+  util::allochook::AllocWindow alloc_on;
   run_real_kv(opt, sim::Tech::kSpsmr, 2, workload::KvMix{100, 0, 0, 0},
-              /*zipf=*/false, /*exec_run_length=*/16, &real_batched);
+              /*zipf=*/false, /*exec_run_length=*/16, &real_batched,
+              /*coalesce_responses=*/true, &spool);
+  const double allocs_per_cmd_on =
+      real_batched.completed > 0
+          ? static_cast<double>(alloc_on.count()) /
+                static_cast<double>(real_batched.completed)
+          : 0;
 
   // Response-path record: the same batched deployment (window 50) with
   // reply coalescing forced off.  real_batched is the coalescing-on leg.
   std::fprintf(stderr, "fig3: measuring response path (coalescing off)...\n");
   workload::RunResult resp_off;
+  util::allochook::AllocWindow alloc_off;
   run_real_kv(opt, sim::Tech::kSpsmr, 2, workload::KvMix{100, 0, 0, 0},
               /*zipf=*/false, /*exec_run_length=*/16, &resp_off,
               /*coalesce_responses=*/false);
+  const double allocs_per_cmd_off =
+      resp_off.completed > 0 ? static_cast<double>(alloc_off.count()) /
+                                   static_cast<double>(resp_off.completed)
+                             : 0;
   const workload::RunResult& resp_on = real_batched;
 
   std::FILE* f = std::fopen(opt.json.c_str(), "w");
@@ -192,6 +209,20 @@ void write_json(const Options& opt) {
                resp_on.response.mean_responses_per_message());
   std::fprintf(rf, "    \"uncoalesced_responses_per_message\": %.2f,\n",
                resp_off.response.mean_responses_per_message());
+  std::fprintf(rf, "    \"alloc_hook_active\": %s,\n",
+               util::allochook::kAllocHookActive ? "true" : "false");
+  std::fprintf(rf, "    \"coalesced_allocs_per_cmd\": %.2f,\n",
+               allocs_per_cmd_on);
+  std::fprintf(rf, "    \"uncoalesced_allocs_per_cmd\": %.2f,\n",
+               allocs_per_cmd_off);
+  std::fprintf(rf,
+               "    \"spool\": {\"spooled_commands\": %llu, \"flushes\": "
+               "%llu, \"mean_commands_per_flush\": %.2f, "
+               "\"failed_flush_commands\": %llu},\n",
+               static_cast<unsigned long long>(spool.spooled_commands),
+               static_cast<unsigned long long>(spool.flushes),
+               spool.mean_commands_per_flush(),
+               static_cast<unsigned long long>(spool.failed_flush_commands));
   std::fprintf(rf,
                "    \"flush\": {\"batch\": %llu, \"size\": %llu, "
                "\"bytes\": %llu, \"timeout\": %llu},\n",

@@ -31,7 +31,7 @@ util::Buffer encode_keys(const std::vector<std::uint64_t>& keys) {
   return w.take();
 }
 
-std::uint64_t decode_key(const util::Buffer& params) {
+std::uint64_t decode_key(std::span<const std::uint8_t> params) {
   util::Reader r(params);
   return r.u64();
 }

@@ -60,7 +60,7 @@ util::Buffer encode_key_range(std::uint64_t lo, std::uint64_t hi);
 /// Multi-read parameters: the list of requested keys.
 util::Buffer encode_keys(const std::vector<std::uint64_t>& keys);
 /// Reads the key parameter of any single-key KV command.
-std::uint64_t decode_key(const util::Buffer& params);
+std::uint64_t decode_key(std::span<const std::uint8_t> params);
 
 struct KvResult {
   KvStatus status = kKvOk;

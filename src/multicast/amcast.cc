@@ -5,7 +5,7 @@
 
 namespace psmr::multicast {
 
-bool SubmitCoalescer::submit(transport::NodeId from, util::Buffer message) {
+bool SubmitCoalescer::submit(transport::NodeId from, util::Payload message) {
   std::unique_lock lock(mu_);
   queue_.push_back(std::move(message));
   if (flushing_) {
@@ -20,7 +20,7 @@ bool SubmitCoalescer::submit(transport::NodeId from, util::Buffer message) {
   // concurrent submit can piggyback while the flusher is paused.
   const auto pause = flush_pause_;
   while (!queue_.empty()) {
-    std::vector<util::Buffer> burst;
+    std::vector<util::Payload> burst;
     burst.swap(queue_);
     const std::size_t n = burst.size();
     stats_.flushes += 1;
@@ -80,17 +80,20 @@ void Bus::stop() {
 }
 
 bool Bus::submit_to(std::size_t ring_index, transport::NodeId from,
-                    util::Buffer message) {
+                    util::Payload message) {
   if (ring_index < coalescers_.size()) {
     return coalescers_[ring_index]->submit(from, std::move(message));
   }
-  paxos::Ring& ring = ring_index < rings_.size() ? *rings_[ring_index]
-                                                 : *shared_ring_;
-  return ring.submit(from, std::move(message));
+  return ring_at(ring_index).submit(from, std::move(message));
+}
+
+bool Bus::submit_encoded(std::size_t ring_index, transport::NodeId from,
+                         util::Payload frame, std::size_t count) {
+  return ring_at(ring_index).submit_encoded(from, std::move(frame), count);
 }
 
 bool Bus::multicast(transport::NodeId from, GroupSet groups,
-                    util::Buffer message) {
+                    util::Payload message) {
   if (groups.empty()) return false;
   if (groups.singleton()) {
     return submit_to(groups.min(), from, std::move(message));

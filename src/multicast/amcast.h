@@ -67,7 +67,7 @@ class SubmitCoalescer {
   /// "accepted for submission", exactly as it does for a send that is then
   /// dropped in transit.  Flush failures stay observable through
   /// Stats::failed_flush_commands.
-  bool submit(transport::NodeId from, util::Buffer message);
+  bool submit(transport::NodeId from, util::Payload message);
 
   struct Stats {
     /// SUBMIT/SUBMIT_MANY wire messages sent.
@@ -106,7 +106,7 @@ class SubmitCoalescer {
  private:
   paxos::Ring& ring_;
   mutable std::mutex mu_;
-  std::vector<util::Buffer> queue_;
+  std::vector<util::Payload> queue_;
   bool flushing_ = false;
   Stats stats_;
   std::function<void()> flush_pause_;
@@ -129,7 +129,26 @@ class Bus {
   /// Multicasts an opaque message to the groups in γ.
   /// Routing: singleton γ → that group's ring; otherwise the shared ring.
   bool multicast(transport::NodeId from, GroupSet groups,
-                 util::Buffer message);
+                 util::Payload message);
+
+  /// Ring index γ routes to (the index space of submit_encoded): singleton
+  /// γ → that group's ring, otherwise the shared ring when one exists.
+  /// Exposed so the client-side submit spooler can bucket per destination
+  /// ring before encoding.
+  [[nodiscard]] std::size_t ring_index_for(GroupSet groups) const {
+    if (groups.singleton()) return groups.min();
+    return shared_ring_ ? rings_.size() : 0;
+  }
+  /// Number of ring indices (worker rings + shared ring when present).
+  [[nodiscard]] std::size_t num_rings() const {
+    return rings_.size() + (shared_ring_ ? 1 : 0);
+  }
+
+  /// Submits a pre-encoded SUBMIT_MANY frame carrying `count` commands to
+  /// ring `ring_index`, bypassing the per-command coalescer round-trip (the
+  /// spooler already grouped the burst).
+  bool submit_encoded(std::size_t ring_index, transport::NodeId from,
+                      util::Payload frame, std::size_t count);
 
   /// Subscribes worker group g: the returned deliverer merges g's ring with
   /// the shared ring (if any) deterministically.  Every subscriber of the
@@ -177,7 +196,10 @@ class Bus {
 
  private:
   bool submit_to(std::size_t ring_index, transport::NodeId from,
-                 util::Buffer message);
+                 util::Payload message);
+  [[nodiscard]] paxos::Ring& ring_at(std::size_t ring_index) {
+    return ring_index < rings_.size() ? *rings_[ring_index] : *shared_ring_;
+  }
 
   transport::Network& net_;
   BusConfig cfg_;

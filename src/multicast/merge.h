@@ -25,7 +25,9 @@ struct Delivery {
   /// Worker-group ring index within the subscription (not a GroupId): the
   /// shared ring, when present, is the last entry.
   std::size_t stream = 0;
-  util::Buffer message;
+  /// Zero-copy handle: shares the DECIDE frame's pool block the batch
+  /// arrived in (see paxos::Batch::decode).
+  util::Payload message;
 };
 
 /// Merges one or more LearnerLogs deterministically.  Single-log instances

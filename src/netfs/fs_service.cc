@@ -62,7 +62,7 @@ util::Buffer pack_params(const util::Buffer& plain) {
   return util::lz_compress(plain);
 }
 
-std::optional<util::Buffer> unpack_params(const util::Buffer& packed) {
+std::optional<util::Buffer> unpack_params(std::span<const std::uint8_t> packed) {
   return util::lz_decompress(packed);
 }
 

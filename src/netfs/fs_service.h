@@ -69,7 +69,7 @@ util::Buffer encode_write(const std::string& path, std::uint64_t offset,
 /// Compresses a plaintext parameter block (client side).
 util::Buffer pack_params(const util::Buffer& plain);
 /// Decompresses a parameter block (worker side); nullopt if corrupt.
-std::optional<util::Buffer> unpack_params(const util::Buffer& packed);
+std::optional<util::Buffer> unpack_params(std::span<const std::uint8_t> packed);
 
 /// Decodes a (compressed) response payload for the given command.
 FsResult decode_result(smr::CommandId cmd, const util::Buffer& payload);

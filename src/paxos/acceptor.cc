@@ -16,10 +16,10 @@ void Acceptor::handle(transport::Message msg) {
         on_prepare(msg.from, r);
         break;
       case MsgType::kPaxosAccept:
-        on_accept(msg.from, r);
+        on_accept(msg.from, msg.payload);
         break;
       case MsgType::kPaxosDecide:
-        on_decide(r);
+        on_decide(msg.payload);
         break;
       case MsgType::kPaxosCatchupReq:
         on_catchup(msg.from, r);
@@ -61,10 +61,12 @@ void Acceptor::on_prepare(transport::NodeId from, util::Reader& r) {
   send(from, MsgType::kPaxosPromise, w.take());
 }
 
-void Acceptor::on_accept(transport::NodeId from, util::Reader& r) {
+void Acceptor::on_accept(transport::NodeId from, const util::Payload& payload) {
+  util::Reader r(payload);
   Ballot ballot = r.u64();
   Instance inst = r.u64();
-  util::Buffer value = r.bytes();
+  // Zero-copy: the stored value shares the ACCEPT frame's pool block.
+  util::Payload value = payload.subview_of(r.bytes_view());
   if (ballot < promised_) {
     util::Writer w;
     w.u64(promised_);
@@ -73,16 +75,17 @@ void Acceptor::on_accept(transport::NodeId from, util::Reader& r) {
   }
   promised_ = ballot;
   accepted_[inst] = AcceptedEntry{ballot, std::move(value)};
-  util::Writer w;
+  util::PayloadWriter w(16);
   w.u64(ballot);
   w.u64(inst);
   send(from, MsgType::kPaxosAccepted, w.take());
 }
 
-void Acceptor::on_decide(util::Reader& r) {
+void Acceptor::on_decide(const util::Payload& payload) {
+  util::Reader r(payload);
   Instance inst = r.u64();
   if (inst < low_water_.load(std::memory_order_relaxed)) return;  // truncated
-  decided_[inst] = r.bytes();
+  decided_[inst] = payload.subview_of(r.bytes_view());
   decided_size_.store(decided_.size(), std::memory_order_relaxed);
 }
 

@@ -66,20 +66,22 @@ class Acceptor : public transport::Endpoint {
 
  private:
   void on_prepare(transport::NodeId from, util::Reader& r);
-  void on_accept(transport::NodeId from, util::Reader& r);
-  void on_decide(util::Reader& r);
+  /// ACCEPT/DECIDE values are stored as zero-copy subviews of the arriving
+  /// frame's pool block (the coordinator's fan-out already shares it).
+  void on_accept(transport::NodeId from, const util::Payload& payload);
+  void on_decide(const util::Payload& payload);
   void on_catchup(transport::NodeId from, util::Reader& r);
   void on_checkpoint_ack(util::Reader& r);
 
   struct AcceptedEntry {
     Ballot ballot = 0;
-    util::Buffer value;
+    util::Payload value;
   };
 
   const std::size_t checkpoint_ackers_;
   Ballot promised_ = 0;
   std::map<Instance, AcceptedEntry> accepted_;
-  std::map<Instance, util::Buffer> decided_;
+  std::map<Instance, util::Payload> decided_;
   /// Per-replica checkpoint acknowledgment (replica id -> acked instance).
   /// Keyed by stable replica index, so a crashed replica's last ack pins the
   /// floor until it restarts and re-acks — the suffix it will replay can

@@ -59,7 +59,7 @@ void Coordinator::handle(transport::Message msg) {
         on_submit(std::move(msg.payload));
         break;
       case MsgType::kPaxosSubmitMany:
-        on_submit_many(r);
+        on_submit_many(msg.payload);
         break;
       case MsgType::kPaxosPromise:
         on_promise(msg.from, r);
@@ -85,16 +85,17 @@ void Coordinator::begin_prepare() {
   promises_.clear();
   promised_values_.clear();
   prepare_sent_ = chrono::steady_clock::now();
-  util::Writer w;
+  util::PayloadWriter w(16);
   w.u64(ballot_);
   w.u64(0);  // learn everything; acceptors prune nothing in this prototype
+  util::Payload prepare = w.take();
   for (auto a : acceptors_) {
-    send(a, MsgType::kPaxosPrepare, w.view());
+    send(a, MsgType::kPaxosPrepare, prepare);
   }
   PSMR_DEBUG("ring " << ring_ << ": prepare ballot " << ballot_);
 }
 
-void Coordinator::on_submit(util::Buffer cmd) {
+void Coordinator::on_submit(util::Payload cmd) {
   {
     std::lock_guard lock(stats_mu_);
     ++stats_.submit_msgs;
@@ -104,7 +105,8 @@ void Coordinator::on_submit(util::Buffer cmd) {
   pump_proposals();
 }
 
-void Coordinator::on_submit_many(util::Reader& r) {
+void Coordinator::on_submit_many(const util::Payload& payload) {
+  util::Reader r(payload);
   std::uint32_t n = r.u32();
   {
     std::lock_guard lock(stats_mu_);
@@ -112,12 +114,13 @@ void Coordinator::on_submit_many(util::Reader& r) {
     stats_.submit_commands += n;
   }
   for (std::uint32_t i = 0; i < n; ++i) {
-    enqueue(r.bytes());
+    // Zero-copy: each pending command shares the submit frame's block.
+    enqueue(payload.subview_of(r.bytes_view()));
   }
   pump_proposals();
 }
 
-void Coordinator::enqueue(util::Buffer cmd) {
+void Coordinator::enqueue(util::Payload cmd) {
   if (pending_.empty()) batch_started_ = chrono::steady_clock::now();
   // Real traffic is about to decide and advance the merge rotation on its
   // own; push the skip deadline out one full interval.
@@ -187,13 +190,13 @@ void Coordinator::adapt_timeout(SealReason reason, std::size_t batch_bytes,
 void Coordinator::pump_proposals() {
   if (phase_ != Phase::kSteady) return;
   while (!sealed_.empty() && in_flight_.size() < cfg_.pipeline_window) {
-    util::Buffer value = std::move(sealed_.front());
+    util::Payload value = std::move(sealed_.front());
     sealed_.pop_front();
     propose(next_instance_++, std::move(value));
   }
 }
 
-void Coordinator::propose(Instance inst, util::Buffer value) {
+void Coordinator::propose(Instance inst, util::Payload value) {
   auto [it, inserted] = in_flight_.try_emplace(inst);
   if (!inserted) return;
   it->second.value = std::move(value);
@@ -204,13 +207,16 @@ void Coordinator::send_accepts(Instance inst) {
   auto it = in_flight_.find(inst);
   if (it == in_flight_.end()) return;
   it->second.last_send = chrono::steady_clock::now();
-  util::Writer w;
+  // One pooled ACCEPT frame, shared across acceptors (refcount bumps, not
+  // per-destination copies).
+  util::PayloadWriter w(8 + 8 + 4 + it->second.value.size());
   w.u64(ballot_);
   w.u64(inst);
   w.bytes(it->second.value);
+  util::Payload accept = w.take();
   for (auto a : acceptors_) {
     if (!it->second.acks.contains(a)) {
-      send(a, MsgType::kPaxosAccept, w.view());
+      send(a, MsgType::kPaxosAccept, accept);
     }
   }
 }
@@ -223,7 +229,7 @@ void Coordinator::on_promise(transport::NodeId from, util::Reader& r) {
   for (std::uint32_t i = 0; i < n; ++i) {
     Instance inst = r.u64();
     Ballot acc_ballot = r.u64();
-    util::Buffer value = r.bytes();
+    util::Payload value{r.bytes()};  // failover path: copy out of the frame
     auto& pv = promised_values_[inst];
     if (acc_ballot >= pv.ballot) {
       pv.ballot = acc_ballot;
@@ -253,7 +259,7 @@ void Coordinator::on_promise(transport::NodeId from, util::Reader& r) {
   if (any) {
     Batch noop;
     noop.skip = true;
-    util::Buffer noop_enc = noop.encode();
+    util::Payload noop_enc = noop.encode();
     // Instances below the truncation floor are already delivered at every
     // learner; re-proposing them would only churn the acceptors.
     for (Instance inst = prepare_floor_; inst <= max_seen; ++inst) {
@@ -295,10 +301,12 @@ void Coordinator::on_accepted(transport::NodeId from, util::Reader& r) {
 void Coordinator::decide(Instance inst) {
   auto it = in_flight_.find(inst);
   if (it == in_flight_.end()) return;
-  util::Writer w;
+  // One pooled DECIDE frame; the fan-out to every learner and acceptor
+  // shares it by refcount instead of cloning the batch N times.
+  util::PayloadWriter w(8 + 4 + it->second.value.size());
   w.u64(inst);
   w.bytes(it->second.value);
-  util::Buffer payload = w.take();
+  util::Payload payload = w.take();
   for (auto l : learners_->snapshot()) {
     send(l, MsgType::kPaxosDecide, payload);
   }

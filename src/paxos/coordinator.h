@@ -151,19 +151,21 @@ class Coordinator : public transport::Endpoint {
   enum class SealReason { kBytes, kCount, kTimeout };
 
   void begin_prepare();
-  void on_submit(util::Buffer cmd);
-  void on_submit_many(util::Reader& r);
+  void on_submit(util::Payload cmd);
+  /// Parses a SUBMIT_MANY frame; each command enqueued is a zero-copy
+  /// subview of the frame's pool block.
+  void on_submit_many(const util::Payload& payload);
   void on_promise(transport::NodeId from, util::Reader& r);
   void on_accepted(transport::NodeId from, util::Reader& r);
   void on_nack(util::Reader& r);
 
   /// Appends one command to the open batch, sealing when a cap is hit.
-  void enqueue(util::Buffer cmd);
+  void enqueue(util::Payload cmd);
   void seal_batch(SealReason reason);
   void adapt_timeout(SealReason reason, std::size_t batch_bytes,
                      std::size_t batch_commands);
   void pump_proposals();
-  void propose(Instance inst, util::Buffer value);
+  void propose(Instance inst, util::Payload value);
   void send_accepts(Instance inst);
   void decide(Instance inst);
 
@@ -187,7 +189,7 @@ class Coordinator : public transport::Endpoint {
   std::set<transport::NodeId> promises_;
   struct PromisedValue {
     Ballot ballot = 0;
-    util::Buffer value;
+    util::Payload value;
   };
   std::map<Instance, PromisedValue> promised_values_;
   /// Highest truncation floor reported in PROMISEs.  Instances below it were
@@ -197,18 +199,19 @@ class Coordinator : public transport::Endpoint {
   Instance prepare_floor_ = 0;
   std::chrono::steady_clock::time_point prepare_sent_{};
 
-  // Batching.
-  std::vector<util::Buffer> pending_;
+  // Batching.  Pending commands are zero-copy subviews of the submit
+  // frames they arrived in; sealing copies them once into the batch block.
+  std::vector<util::Payload> pending_;
   std::size_t pending_bytes_ = 0;
   std::chrono::steady_clock::time_point batch_started_{};
-  std::deque<util::Buffer> sealed_;
+  std::deque<util::Payload> sealed_;
   /// Effective batch timeout; fixed at cfg_.batch_timeout unless adaptive
   /// batching moves it within [min_batch_timeout, max_batch_timeout].
   std::chrono::microseconds batch_timeout_;
 
   // Phase 2 pipeline.
   struct InFlight {
-    util::Buffer value;
+    util::Payload value;
     std::set<transport::NodeId> acks;
     std::chrono::steady_clock::time_point last_send;
   };

@@ -102,7 +102,9 @@ void LearnerLog::ingest(transport::Message&& msg) {
     Instance next = next_.load(std::memory_order_relaxed);
     if (msg.type == MsgType::kPaxosDecide) {
       Instance inst = r.u64();
-      auto value = r.bytes_view();
+      // Zero-copy: the decoded batch's commands share the DECIDE frame's
+      // pool block all the way into the replica workers.
+      auto value = msg.payload.subview_of(r.bytes_view());
       if (inst < next || buffer_.contains(inst)) return;  // duplicate
       auto batch = Batch::decode(value);
       if (!batch) {
@@ -115,7 +117,7 @@ void LearnerLog::ingest(transport::Message&& msg) {
       std::uint32_t n = r.u32();
       for (std::uint32_t i = 0; i < n; ++i) {
         Instance inst = r.u64();
-        auto value = r.bytes_view();
+        auto value = msg.payload.subview_of(r.bytes_view());
         if (inst < next || buffer_.contains(inst)) continue;
         if (auto batch = Batch::decode(value)) {
           buffer_.emplace(inst, std::move(*batch));

@@ -56,20 +56,29 @@ std::uint64_t Ring::truncated_instances() const {
   return out;
 }
 
-bool Ring::submit(transport::NodeId from, util::Buffer command) {
+bool Ring::submit(transport::NodeId from, util::Payload command) {
   return net_.send(from, coordinator(), transport::MsgType::kPaxosSubmit,
                    std::move(command));
 }
 
 bool Ring::submit_many(transport::NodeId from,
-                       std::vector<util::Buffer> commands) {
+                       std::vector<util::Payload> commands) {
   if (commands.empty()) return true;
   if (commands.size() == 1) return submit(from, std::move(commands.front()));
-  util::Writer w;
+  std::size_t total = 4;
+  for (const auto& c : commands) total += 4 + c.size();
+  util::PayloadWriter w(total);
   w.u32(static_cast<std::uint32_t>(commands.size()));
   for (const auto& c : commands) w.bytes(c);
   return net_.send(from, coordinator(), transport::MsgType::kPaxosSubmitMany,
                    w.take());
+}
+
+bool Ring::submit_encoded(transport::NodeId from, util::Payload frame,
+                          std::size_t count) {
+  if (count == 0) return true;
+  return net_.send(from, coordinator(), transport::MsgType::kPaxosSubmitMany,
+                   std::move(frame));
 }
 
 transport::NodeId Ring::fail_coordinator() {

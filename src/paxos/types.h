@@ -13,6 +13,7 @@
 #include <optional>
 #include <vector>
 
+#include "util/buffer_pool.h"
 #include "util/bytes.h"
 #include "util/hash.h"
 
@@ -35,12 +36,24 @@ constexpr Ballot make_ballot(std::uint64_t round, std::uint32_t proposer) {
 /// What a decided instance carries: either a batch of opaque commands or a
 /// SKIP no-op emitted by an idle coordinator so deterministic merges make
 /// progress (Multi-Ring Paxos's skip mechanism, paper ref [9]).
+///
+/// Commands are util::Payload handles: encode() writes them once into a
+/// pooled block, and decode() hands back zero-copy subviews of the decide
+/// payload — every command a learner delivers shares the one block its
+/// DECIDE arrived in.  The wire format (u8 skip, u32 n, n length-prefixed
+/// commands, CRC32 tail) is unchanged from the Buffer-based seed.
 struct Batch {
   bool skip = false;
-  std::vector<util::Buffer> commands;
+  std::vector<util::Payload> commands;
 
-  [[nodiscard]] util::Buffer encode() const {
-    util::Writer w;
+  [[nodiscard]] std::size_t encoded_size() const {
+    std::size_t n = 1 + 4 + 4;  // skip + count + crc
+    for (const auto& c : commands) n += 4 + c.size();
+    return n;
+  }
+
+  [[nodiscard]] util::Payload encode() const {
+    util::PayloadWriter w(encoded_size());
     w.u8(skip ? 1 : 0);
     w.u32(static_cast<std::uint32_t>(commands.size()));
     for (const auto& c : commands) w.bytes(c);
@@ -48,10 +61,12 @@ struct Batch {
     return w.take();
   }
 
-  static std::optional<Batch> decode(std::span<const std::uint8_t> data) {
+  /// Decodes from a Payload; command entries are subviews sharing `data`'s
+  /// block (no per-command copy).
+  static std::optional<Batch> decode(const util::Payload& data) {
     if (data.size() < 4) return std::nullopt;
-    auto body = data.first(data.size() - 4);
-    util::Reader crc_r(data.subspan(data.size() - 4));
+    auto body = data.view().first(data.size() - 4);
+    util::Reader crc_r(data.view().subspan(data.size() - 4));
     if (crc_r.u32() != util::Crc32::of(body)) return std::nullopt;
     try {
       util::Reader r(body);
@@ -59,7 +74,9 @@ struct Batch {
       b.skip = r.u8() != 0;
       std::uint32_t n = r.u32();
       b.commands.reserve(n);
-      for (std::uint32_t i = 0; i < n; ++i) b.commands.push_back(r.bytes());
+      for (std::uint32_t i = 0; i < n; ++i) {
+        b.commands.push_back(data.subview_of(r.bytes_view()));
+      }
       return b;
     } catch (const util::DecodeError&) {
       return std::nullopt;

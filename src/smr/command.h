@@ -42,21 +42,38 @@ struct Command {
   transport::NodeId reply_to = transport::kNoNode;
   /// Destination groups chosen by the client proxy's C-G function.
   multicast::GroupSet groups;
-  /// Marshaled input parameters (service-defined schema).
-  util::Buffer params;
+  /// Marshaled input parameters (service-defined schema).  A zero-copy
+  /// handle: a decoded command's params share the delivery frame's pool
+  /// block (util::Buffer converts implicitly when building commands).
+  util::Payload params;
 
-  [[nodiscard]] util::Buffer encode() const {
-    util::Writer w;
+  /// Exact size of encode()'s output (the envelope is fixed-width).
+  [[nodiscard]] std::size_t encoded_size() const {
+    return 2 + 8 + 8 + 4 + 8 + 4 + params.size();
+  }
+
+  /// Appends encode()'s byte sequence into any Writer-shaped sink — the
+  /// submit spooler uses this to marshal commands straight into its pooled
+  /// SUBMIT_MANY frame with no intermediate Buffer.
+  template <typename W>
+  void encode_into(W& w) const {
     w.u16(cmd);
     w.u64(client);
     w.u64(seq);
     w.u32(reply_to);
     w.u64(groups.mask());
     w.bytes(params);
+  }
+
+  [[nodiscard]] util::Buffer encode() const {
+    util::Writer w;
+    encode_into(w);
     return w.take();
   }
 
-  static std::optional<Command> decode(std::span<const std::uint8_t> data) {
+  /// Decodes from a Payload; params is a zero-copy subview of `data`'s
+  /// block.  A util::Buffer argument converts implicitly (one pool copy).
+  static std::optional<Command> decode(const util::Payload& data) {
     try {
       util::Reader r(data);
       Command c;
@@ -65,7 +82,7 @@ struct Command {
       c.seq = r.u64();
       c.reply_to = r.u32();
       c.groups = multicast::GroupSet::from_mask(r.u64());
-      c.params = r.bytes();
+      c.params = data.subview_of(r.bytes_view());
       if (!r.done()) return std::nullopt;
       return c;
     } catch (const util::DecodeError&) {

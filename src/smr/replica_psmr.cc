@@ -288,8 +288,8 @@ SnapshotFrame PsmrReplica::build_frame(std::uint64_t executed) const {
     }
     ws.merge_cursor = sub.merge_cursor();
     for (const auto& d : sub.pending()) {
-      ws.pending.push_back(
-          SnapshotPending{static_cast<std::uint32_t>(d.stream), d.message});
+      ws.pending.push_back(SnapshotPending{
+          static_cast<std::uint32_t>(d.stream), d.message.to_buffer()});
     }
     // Canonical (sorted) dedup table, so equal tables encode equally.
     ws.dedup.reserve(dedup_[i].size());

@@ -83,6 +83,9 @@ Deployment::Deployment(DeploymentConfig cfg) : cfg_(std::move(cfg)) {
     admission_ = std::make_shared<AdmissionController>(
         cfg_.admission, [bus] { return bus->total_stats(); });
   }
+  if (cfg_.pipeline_submits.enabled && bus_) {
+    spooler_ = std::make_unique<SubmitSpooler>(*bus_, cfg_.pipeline_submits);
+  }
 }
 
 std::unique_ptr<PsmrReplica> Deployment::build_psmr_replica(
@@ -219,7 +222,7 @@ std::unique_ptr<ClientProxy> Deployment::make_client() {
     case Mode::kSpsmr:
     case Mode::kPsmr:
       return std::make_unique<ClientProxy>(net_, *bus_, client_cg_, id,
-                                           admission_);
+                                           admission_, spooler_.get());
     case Mode::kNoRep:
       return std::make_unique<ClientProxy>(net_, norep_->id(), id);
     case Mode::kLockServer: {
@@ -294,6 +297,10 @@ ResponseStats Deployment::response_stats() const {
 
 AdmissionStats Deployment::admission_stats() const {
   return admission_ ? admission_->stats() : AdmissionStats{};
+}
+
+SpoolStats Deployment::spool_stats() const {
+  return spooler_ ? spooler_->stats() : SpoolStats{};
 }
 
 }  // namespace psmr::smr

@@ -59,6 +59,12 @@ struct DeploymentConfig {
   /// wire message per reply.  Ignored by the lock server, whose handlers
   /// reply inline per command.
   bool coalesce_responses = true;
+  /// Client-side submit pipelining: client proxies of the replicated modes
+  /// share one SubmitSpooler that marshals submissions straight into pooled
+  /// per-ring SUBMIT_MANY frames and flushes them as bursts (see
+  /// submit_spooler.h).  `pipeline_submits.enabled = false` restores one
+  /// Bus::multicast per command.  Ignored by unreplicated modes.
+  SubmitSpoolerOptions pipeline_submits;
   /// Replica-side execution batching: maximum run of consecutive
   /// independent commands handed to the service as one execute_batch call
   /// (see service.h's batch contract).  1 restores one-command-at-a-time
@@ -129,6 +135,13 @@ class Deployment {
   /// Aggregate response_stats over every replica.
   [[nodiscard]] ResponseStats response_stats() const;
 
+  /// Submit-pipelining counters of the shared spooler (zeros when
+  /// pipelining is disabled or the mode is unreplicated).
+  [[nodiscard]] SpoolStats spool_stats() const;
+  /// The shared spooler (nullptr when pipelining is disabled or the mode is
+  /// unreplicated).
+  [[nodiscard]] SubmitSpooler* spooler() { return spooler_.get(); }
+
   /// Admission counters (zeros when admission is disabled or the mode is
   /// unreplicated).
   [[nodiscard]] AdmissionStats admission_stats() const;
@@ -192,6 +205,7 @@ class Deployment {
   std::unique_ptr<multicast::Bus> bus_;
   std::shared_ptr<const CGFunction> client_cg_;
   std::shared_ptr<AdmissionController> admission_;
+  std::unique_ptr<SubmitSpooler> spooler_;
 
   /// Guards the psmr_ slot pointers, which crash_replica/restart_replica
   /// swap while monitor threads read the per-replica accessors.

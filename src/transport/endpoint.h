@@ -64,8 +64,9 @@ class Endpoint {
   }
   virtual void on_tick() {}
 
-  /// Sends from this endpoint.
-  bool send(NodeId to, std::uint16_t type, util::Buffer payload) {
+  /// Sends from this endpoint.  Accepts a util::Payload (zero-copy share)
+  /// or, via implicit conversion, a util::Buffer.
+  bool send(NodeId to, std::uint16_t type, util::Payload payload) {
     return net_.send(id_, to, type, std::move(payload));
   }
 

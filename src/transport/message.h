@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "util/buffer_pool.h"
 #include "util/bytes.h"
 
 namespace psmr::transport {
@@ -45,11 +46,17 @@ enum MsgType : std::uint16_t {
 };
 
 /// Envelope delivered to a Node's mailbox.
+///
+/// `payload` is a zero-copy handle (view + shared pool block, see
+/// util/buffer_pool.h): copying a Message for fan-out bumps a refcount
+/// instead of cloning the bytes, and a util::Buffer passed where a Payload
+/// is expected converts implicitly (one copy into the pool, at the
+/// boundary).
 struct Message {
   NodeId from = kNoNode;
   NodeId to = kNoNode;
   std::uint16_t type = 0;
-  util::Buffer payload;
+  util::Payload payload;
 };
 
 }  // namespace psmr::transport

@@ -53,7 +53,7 @@ bool Network::send(Message msg) {
 }
 
 bool Network::send(NodeId from, NodeId to, std::uint16_t type,
-                   util::Buffer payload) {
+                   util::Payload payload) {
   return send(Message{from, to, type, std::move(payload)});
 }
 

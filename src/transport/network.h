@@ -58,8 +58,10 @@ class Network {
   /// unknown, disconnected, or the message was dropped by fault injection.
   bool send(Message msg);
 
-  /// Convenience overload building the envelope.
-  bool send(NodeId from, NodeId to, std::uint16_t type, util::Buffer payload);
+  /// Convenience overload building the envelope.  Payload converts
+  /// implicitly from util::Buffer (copied into a pool block) and is shared,
+  /// not cloned, when callers fan the same bytes out to several nodes.
+  bool send(NodeId from, NodeId to, std::uint16_t type, util::Payload payload);
 
   /// Crash-simulation: a disconnected node's mailbox receives nothing and
   /// its sends are suppressed, until reconnect().

@@ -1,0 +1,141 @@
+#include "util/buffer_pool.h"
+
+#include <new>
+
+namespace psmr::util {
+
+void PooledBuf::release() {
+  if (hdr_ == nullptr) {
+    return;
+  }
+  if (hdr_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    if (hdr_->pool != nullptr) {
+      hdr_->pool->release_block(hdr_);
+    } else {
+      ::operator delete(hdr_);
+    }
+  }
+  hdr_ = nullptr;
+}
+
+BufferPool::BufferPool() : BufferPool(Options{}) {}
+
+BufferPool::BufferPool(Options opt) : opt_(opt) {}
+
+BufferPool::~BufferPool() { trim(); }
+
+std::size_t BufferPool::class_for(std::size_t n) {
+  for (std::size_t c = 0; c < kNumClasses; ++c) {
+    if (n <= kClasses[c]) {
+      return c;
+    }
+  }
+  return kNumClasses;
+}
+
+detail::BlockHeader* BufferPool::heap_block(std::size_t capacity,
+                                            BufferPool* pool) {
+  void* mem = ::operator new(sizeof(detail::BlockHeader) + capacity);
+  auto* hdr = new (mem) detail::BlockHeader{
+      {1}, static_cast<std::uint32_t>(capacity), pool};
+  return hdr;
+}
+
+PooledBuf BufferPool::acquire(std::size_t min_capacity) {
+  std::size_t c = class_for(min_capacity);
+  if (c == kNumClasses) {
+    // Oversize: a plain heap block, never recycled.  Still pool-tagged so
+    // release_block can account for it.
+    {
+      std::lock_guard lock(mu_);
+      ++oversize_;
+    }
+    outstanding_.fetch_add(1, std::memory_order_relaxed);
+    return PooledBuf(heap_block(min_capacity, this));
+  }
+  {
+    std::lock_guard lock(mu_);
+    if (!free_[c].empty()) {
+      detail::BlockHeader* hdr = free_[c].back();
+      free_[c].pop_back();
+      ++hits_;
+      outstanding_.fetch_add(1, std::memory_order_relaxed);
+      hdr->refs.store(1, std::memory_order_relaxed);
+      return PooledBuf(hdr);
+    }
+    ++misses_;
+  }
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
+  return PooledBuf(heap_block(kClasses[c], this));
+}
+
+void BufferPool::release_block(detail::BlockHeader* hdr) {
+  outstanding_.fetch_sub(1, std::memory_order_relaxed);
+  std::size_t c = class_for(hdr->capacity);
+  if (c < kNumClasses && kClasses[c] == hdr->capacity) {
+    std::lock_guard lock(mu_);
+    if (free_[c].size() < opt_.max_free_per_class) {
+      free_[c].push_back(hdr);
+      ++recycled_;
+      return;
+    }
+    ++dropped_;
+  }
+  // Oversize blocks (capacity above the largest class) just go back to the
+  // heap; they were never pool candidates.
+  ::operator delete(hdr);
+}
+
+PoolStats BufferPool::stats() const {
+  std::lock_guard lock(mu_);
+  PoolStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.oversize = oversize_;
+  s.recycled = recycled_;
+  s.dropped = dropped_;
+  s.outstanding = outstanding_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void BufferPool::trim() {
+  std::lock_guard lock(mu_);
+  for (auto& list : free_) {
+    for (detail::BlockHeader* hdr : list) {
+      ::operator delete(hdr);
+    }
+    list.clear();
+  }
+}
+
+BufferPool& BufferPool::global() {
+  // Intentionally leaked: handles held by static-storage objects must stay
+  // releasable during process shutdown, in any destruction order.
+  static BufferPool* pool = new BufferPool();
+  return *pool;
+}
+
+Payload::Payload(const Buffer& b) {
+  if (b.empty()) {
+    return;
+  }
+  PooledBuf buf = BufferPool::global().acquire(b.size());
+  std::memcpy(buf.data(), b.data(), b.size());
+  data_ = buf.data();
+  size_ = b.size();
+  owner_ = std::move(buf);
+}
+
+void PayloadWriter::grow(std::size_t need) {
+  std::size_t cap = buf_.capacity() == 0 ? 64 : buf_.capacity();
+  while (cap < need) {
+    cap *= 2;
+  }
+  PooledBuf bigger = pool_->acquire(cap);
+  if (size_ > 0) {
+    std::memcpy(bigger.data(), buf_.data(), size_);
+  }
+  buf_ = std::move(bigger);
+}
+
+}  // namespace psmr::util

@@ -27,7 +27,7 @@ util::Buffer cmd(std::uint64_t id) {
   return w.take();
 }
 
-std::uint64_t cmd_id(const util::Buffer& b) {
+std::uint64_t cmd_id(std::span<const std::uint8_t> b) {
   util::Reader r(b);
   return r.u64();
 }
@@ -242,7 +242,7 @@ TEST(SubmitMany, BurstArrivesInOneMessage) {
   ring.start();
   auto [me, mybox] = net.register_node();
 
-  std::vector<util::Buffer> burst;
+  std::vector<util::Payload> burst;
   for (std::uint64_t i = 0; i < 10; ++i) burst.push_back(cmd(i));
   ASSERT_TRUE(ring.submit_many(me, std::move(burst)));
   drain_ordered(*learner, 10);
@@ -259,7 +259,7 @@ TEST(SubmitMany, SingleCommandFallsBackToPlainSubmit) {
   ring.start();
   auto [me, mybox] = net.register_node();
 
-  std::vector<util::Buffer> one;
+  std::vector<util::Payload> one;
   one.push_back(cmd(0));
   ASSERT_TRUE(ring.submit_many(me, std::move(one)));
   EXPECT_TRUE(ring.submit_many(me, {}));  // empty burst is a no-op
@@ -279,7 +279,7 @@ TEST(SubmitMany, BurstRespectsBatchCapsMidMessage) {
   ring.start();
   auto [me, mybox] = net.register_node();
 
-  std::vector<util::Buffer> burst;
+  std::vector<util::Payload> burst;
   for (std::uint64_t i = 0; i < 10; ++i) burst.push_back(cmd(i));
   ASSERT_TRUE(ring.submit_many(me, std::move(burst)));
   drain_ordered(*learner, 10);

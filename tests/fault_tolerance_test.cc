@@ -24,7 +24,7 @@ util::Buffer cmd(std::uint64_t id) {
   return w.take();
 }
 
-std::uint64_t cmd_id(const util::Buffer& b) {
+std::uint64_t cmd_id(std::span<const std::uint8_t> b) {
   return util::Reader(b).u64();
 }
 

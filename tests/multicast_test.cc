@@ -55,7 +55,7 @@ util::Buffer msg(std::uint64_t id) {
   return w.take();
 }
 
-std::uint64_t msg_id(const util::Buffer& b) {
+std::uint64_t msg_id(std::span<const std::uint8_t> b) {
   util::Reader r(b);
   return r.u64();
 }

@@ -193,7 +193,7 @@ TEST(FsService, RejectsCorruptParams) {
   FsService svc;
   smr::Command c;
   c.cmd = kFsRead;
-  c.params = {0xff, 0xff};  // not a valid LZ block
+  c.params = util::Buffer{0xff, 0xff};  // not a valid LZ block
   auto res = decode_result(kFsRead, svc.execute(c));
   EXPECT_EQ(res.err, -EIO);
 }

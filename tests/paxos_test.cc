@@ -20,7 +20,7 @@ util::Buffer cmd(std::uint64_t id) {
   return w.take();
 }
 
-std::uint64_t cmd_id(const util::Buffer& b) {
+std::uint64_t cmd_id(std::span<const std::uint8_t> b) {
   util::Reader r(b);
   return r.u64();
 }
@@ -57,7 +57,7 @@ TEST(Batch, SkipRoundTrip) {
 TEST(Batch, CorruptionDetected) {
   Batch b;
   b.commands = {cmd(42)};
-  auto enc = b.encode();
+  auto enc = b.encode().to_buffer();
   enc[enc.size() / 2] ^= 0xff;
   EXPECT_FALSE(Batch::decode(enc).has_value());
 }
@@ -65,7 +65,7 @@ TEST(Batch, CorruptionDetected) {
 TEST(Batch, TruncationDetected) {
   Batch b;
   b.commands = {cmd(42)};
-  auto enc = b.encode();
+  auto enc = b.encode().to_buffer();
   enc.resize(enc.size() - 1);
   EXPECT_FALSE(Batch::decode(enc).has_value());
 }

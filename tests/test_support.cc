@@ -8,6 +8,12 @@
 #include <stdexcept>
 
 #include "kvstore/kv_service.h"
+#include "util/alloc_hook.h"
+
+// Every test binary links test_support, so every test can meter heap
+// traffic through util::allochook (buffer_pool_test asserts the pooled hot
+// path stays allocation-free once warm).  Inert under ASan/TSan.
+PSMR_DEFINE_ALLOC_HOOK();
 
 namespace psmr::test_support {
 
